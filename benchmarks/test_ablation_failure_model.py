@@ -1,0 +1,95 @@
+"""Ablations of the failure model (the parameters the paper leaves
+unspecified; DESIGN.md §3).
+
+* λ — the Eq. 1 rate constant (our default 3.0): as λ grows, risky
+  placements fail more and the secure mode's *relative* standing
+  improves;
+* failure point — whether a doomed attempt wastes a uniform fraction
+  (default) or its full execution time;
+* risk-penalised GA fitness (extension) — inflating ETC by expected
+  rework trades failures against makespan.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation import (
+    failure_point_comparison,
+    lambda_sensitivity,
+    risk_penalty_sweep,
+)
+from repro.util.tables import render_table
+
+
+def test_lambda_sensitivity(benchmark, settings, scale):
+    out = run_once(
+        benchmark,
+        lambda_sensitivity,
+        lams=(1.0, 3.0, 6.0, 12.0),
+        n_jobs=1000,
+        scale=scale,
+        settings=settings,
+    )
+    print()
+    rows = []
+    for lam, pair in out.items():
+        rows.append([
+            lam,
+            pair["risky"].makespan,
+            pair["secure"].makespan,
+            pair["risky"].n_fail,
+            pair["risky"].failure_rate,
+        ])
+    print(render_table(
+        ["lambda", "risky makespan", "secure makespan", "risky N_fail",
+         "risky fail rate"],
+        rows,
+        title="Ablation: failure-law steepness (our default lambda=3)",
+    ))
+
+    # Secure mode never fails and is lambda-invariant by construction.
+    secure_ms = [p["secure"].makespan for p in out.values()]
+    assert max(secure_ms) - min(secure_ms) < 1e-6 * max(secure_ms)
+    for pair in out.values():
+        assert pair["secure"].n_fail == 0
+    # Risky failure *rate* grows with lambda (Eq. 1 is monotone).
+    rates = [out[lam]["risky"].failure_rate for lam in sorted(out)]
+    assert rates[0] <= rates[-1] + 1e-9
+
+
+def test_failure_point(benchmark, settings, scale):
+    out = run_once(
+        benchmark,
+        failure_point_comparison,
+        n_jobs=1000,
+        scale=scale,
+        settings=settings,
+    )
+    print()
+    print(render_table(
+        ["failure point", "makespan", "avg_response", "N_fail"],
+        [[p, r.makespan, r.avg_response_time, r.n_fail]
+         for p, r in out.items()],
+        title="Ablation: fail-stop point ('uniform' default vs 'end')",
+    ))
+    assert set(out) == {"uniform", "end"}
+
+
+def test_risk_penalty(benchmark, settings, scale):
+    out = run_once(
+        benchmark,
+        risk_penalty_sweep,
+        penalties=(0.0, 1.0, 4.0),
+        n_jobs=1000,
+        scale=scale,
+        settings=settings,
+    )
+    print()
+    print(render_table(
+        ["penalty", "makespan", "N_risk", "N_fail"],
+        [[p, r.makespan, r.n_risk, r.n_fail] for p, r in out.items()],
+        title="Ablation: risk-penalised GA fitness (extension)",
+    ))
+    # Penalising expected rework should push risk-taking down.
+    n_risk = [out[p].n_risk for p in sorted(out)]
+    assert n_risk[-1] <= n_risk[0] * 1.1

@@ -1,0 +1,64 @@
+"""Figure 7(a) — makespan of the f-risky heuristics vs the risk level f.
+
+Paper claims (PSA, N = 1000): both curves are concave with interior
+minima around f = 0.5 (Min-Min) / 0.6 (Sufferage); the optimum lies in
+0.5-0.6, justifying f = 0.5 everywhere else.
+
+Shape assertions here: an interior f beats *both* endpoints (f = 0 is
+the secure mode, f = 1 the risky mode) on the seed ensemble, and the
+best f is not at the secure end.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import ENSEMBLE_SEEDS, run_once
+from dataclasses import replace
+
+from repro.experiments.fig7 import frisky_makespan_sweep
+from repro.util.tables import render_table
+
+F_GRID = (0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0)
+
+
+def test_fig7a_frisky_sweep(benchmark, settings, scale):
+    def experiment():
+        mm = np.zeros(len(F_GRID))
+        sf = np.zeros(len(F_GRID))
+        for seed in ENSEMBLE_SEEDS:
+            res = frisky_makespan_sweep(
+                n_jobs=1000,
+                scale=scale,
+                f_values=F_GRID,
+                settings=replace(settings, seed=seed),
+            )
+            mm += res.minmin_makespan
+            sf += res.sufferage_makespan
+        return mm / len(ENSEMBLE_SEEDS), sf / len(ENSEMBLE_SEEDS)
+
+    mm, sf = run_once(benchmark, experiment)
+
+    print()
+    print(render_table(
+        ["f", "Min-Min f-Risky", "Sufferage f-Risky"],
+        [[f, a, b] for f, a, b in zip(F_GRID, mm, sf)],
+        title=(
+            "Figure 7(a): makespan vs f (PSA, ensemble mean; paper: "
+            "concave, min at f=0.5-0.6)"
+        ),
+    ))
+
+    for series, label in ((mm, "Min-Min"), (sf, "Sufferage")):
+        interior_best = series[1:-1].min()
+        # An intermediate risk level beats the fully secure endpoint...
+        assert interior_best < series[0], (
+            f"{label}: no interior f beats the secure endpoint"
+        )
+        # ...and does not lose to the fully risky endpoint.
+        assert interior_best <= series[-1] * 1.02, (
+            f"{label}: interior minimum loses to the risky endpoint"
+        )
+        best_f = F_GRID[int(np.argmin(series))]
+        assert best_f > 0.0, f"{label}: best f is the secure endpoint"
+        print(f"{label}: best f = {best_f} "
+              f"(paper: 0.5-0.6), secure/interior ratio = "
+              f"{series[0] / interior_best:.3f}")

@@ -1,0 +1,63 @@
+"""Table 1 — simulation parameters.
+
+Not a timing benchmark in the usual sense: this regenerates Table 1
+from the library's actual defaults and asserts they match the paper
+verbatim, so any drift in generator or GA defaults breaks the
+reproduction loudly.
+"""
+
+from repro.core.ga import GAConfig
+from repro.core.history import HistoryTable
+from repro.experiments.config import PaperDefaults
+from repro.util.tables import render_table
+from repro.workloads.nas import NASConfig
+from repro.workloads.psa import PSAConfig
+
+
+def test_table1_defaults(benchmark):
+    d = benchmark.pedantic(PaperDefaults, rounds=1, iterations=1)
+    psa, nas, ga, table = PSAConfig(), NASConfig(), GAConfig(), HistoryTable()
+
+    rows = [
+        ["Number of jobs", f"NAS: {nas.n_jobs}; PSA: {psa.n_jobs}",
+         "NAS: 16000; PSA: 5000"],
+        ["Number of sites", f"NAS: {len(nas.site_nodes)}; PSA: {psa.n_sites}",
+         "NAS: 12; PSA: 20"],
+        ["Job arrival rate (PSA)", f"{psa.arrival_rate}", "0.008"],
+        ["Job workloads (PSA)",
+         f"{psa.n_workload_levels} levels (0-{psa.max_workload:g}) "
+         "[calibrated; see DESIGN.md #3]",
+         "20 levels (0-300000)"],
+        ["Site processing speed",
+         f"NAS: {nas.site_nodes.count(8)}x8 and {nas.site_nodes.count(16)}x16"
+         f" nodes; PSA: {psa.n_speed_levels} levels",
+         "NAS: 8x8 and 4x16 nodes; PSA: 10 levels"],
+        ["Site security level", f"{psa.sl_range}", "(0.4, 1.0) uniform"],
+        ["Job security demand", f"{psa.sd_range}", "(0.6, 0.9) uniform"],
+        ["Number of generations", f"{ga.generations}", "100"],
+        ["Initial population size", f"{ga.population_size}", "200"],
+        ["Crossover probability", f"{ga.crossover_prob}", "0.8"],
+        ["Mutation probability", f"{ga.mutation_prob}", "0.01"],
+        ["Lookup table size", f"{table.capacity}", "150"],
+        ["Number of training jobs", f"{d.n_training_jobs}", "500"],
+        ["Similarity threshold", f"{table.threshold}", "0.8"],
+    ]
+    print()
+    print(render_table(["Parameter", "library default", "paper (Table 1)"],
+                       rows, title="Table 1: simulation parameters"))
+
+    # Hard assertions: library defaults == Table 1.
+    assert nas.n_jobs == 16_000 and psa.n_jobs == 5_000
+    assert len(nas.site_nodes) == 12 and psa.n_sites == 20
+    assert psa.arrival_rate == 0.008
+    assert psa.n_workload_levels == 20
+    # Table 1 prints 300000; the paper's own makespans imply 30000.
+    assert d.psa_max_workload_printed == 300_000.0
+    assert psa.max_workload == 30_000.0
+    assert sorted(nas.site_nodes, reverse=True)[:4] == [16] * 4
+    assert psa.n_speed_levels == 10
+    assert psa.sl_range == (0.4, 1.0) and psa.sd_range == (0.6, 0.9)
+    assert ga.generations == 100 and ga.population_size == 200
+    assert ga.crossover_prob == 0.8 and ga.mutation_prob == 0.01
+    assert table.capacity == 150 and table.threshold == 0.8
+    assert d.n_training_jobs == 500 and d.f_risky == 0.5

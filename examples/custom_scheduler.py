@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Extending the library: write and evaluate your own scheduler.
+
+The engine accepts anything implementing ``schedule(Batch) ->
+ScheduleResult``.  This example builds two custom schedulers:
+
+* ``GreedySecurityMargin`` — a security-first heuristic that places
+  each job on the eligible site maximising SL - SD (most headroom),
+  breaking ties by completion time;
+* ``HedgedScheduler`` — a meta-scheduler that calls Min-Min and
+  Sufferage per batch and keeps whichever batch schedule has the
+  smaller makespan (a poor man's portfolio approach).
+
+Both are benchmarked against the built-ins on one PSA stream.
+
+Run:
+    python examples/custom_scheduler.py
+"""
+
+import numpy as np
+
+from repro import (
+    GridSimulator,
+    MinMinScheduler,
+    PSAConfig,
+    SufferageScheduler,
+    evaluate,
+    psa_scenario,
+)
+from repro.core.fitness import assignment_makespan
+from repro.grid.batch import Batch, ScheduleResult
+from repro.heuristics.base import SecurityDrivenScheduler
+from repro.util.tables import render_table
+
+
+class GreedySecurityMargin(SecurityDrivenScheduler):
+    """Pick the eligible site with the largest security headroom."""
+
+    algorithm = "Greedy-SL-margin"
+
+    def schedule(self, batch: Batch) -> ScheduleResult:
+        elig = self.eligibility(batch)
+        comp = batch.completion()
+        margin = (
+            batch.site_security[None, :]
+            - batch.security_demands[:, None]
+        )
+        assignment = np.full(batch.n_jobs, -1, dtype=int)
+        for j in range(batch.n_jobs):
+            sites = np.flatnonzero(elig[j])
+            if sites.size == 0:
+                continue
+            best_margin = margin[j, sites].max()
+            tied = sites[margin[j, sites] >= best_margin - 1e-12]
+            assignment[j] = int(tied[np.argmin(comp[j, tied])])
+        return ScheduleResult.from_assignment(assignment)
+
+
+class HedgedScheduler(SecurityDrivenScheduler):
+    """Run Min-Min and Sufferage; keep the better batch schedule."""
+
+    algorithm = "Hedged(MM|Suff)"
+
+    def __init__(self, mode="f-risky", *, f=0.5, lam=3.0):
+        super().__init__(mode, f=f, lam=lam)
+        self._candidates = [
+            MinMinScheduler(mode, f=f, lam=lam),
+            SufferageScheduler(mode, f=f, lam=lam),
+        ]
+
+    def schedule(self, batch: Batch) -> ScheduleResult:
+        ready = np.maximum(batch.ready, batch.now)
+        best, best_ms = None, np.inf
+        for sched in self._candidates:
+            res = sched.schedule(batch)
+            assigned = np.asarray(res.assignment)
+            mask = assigned >= 0
+            if not mask.any():
+                best = best if best is not None else res
+                continue
+            ms = assignment_makespan(
+                assigned[mask], batch.etc[mask], ready
+            )
+            if ms < best_ms:
+                best, best_ms = res, ms
+        return best
+
+
+def main() -> None:
+    scenario = psa_scenario(PSAConfig(n_jobs=400), rng=9)
+    lineup = [
+        MinMinScheduler("f-risky", f=0.5),
+        SufferageScheduler("f-risky", f=0.5),
+        GreedySecurityMargin("f-risky", f=0.5),
+        HedgedScheduler("f-risky", f=0.5),
+    ]
+    rows = []
+    for sched in lineup:
+        sim = GridSimulator(
+            scenario.grid, sched, batch_interval=1000.0, rng=4
+        )
+        rep = evaluate(sim.run(scenario.jobs), sched.name)
+        rows.append([rep.scheduler, rep.makespan, rep.avg_response_time,
+                     rep.n_fail, rep.mean_utilization])
+
+    print(render_table(
+        ["scheduler", "makespan", "avg response", "N_fail", "util %"],
+        rows,
+        title="Custom schedulers vs built-ins (PSA, 400 jobs)",
+    ))
+    print(
+        "\nThe security-margin heuristic avoids failures entirely at "
+        "the cost of load imbalance; the hedged portfolio tracks the "
+        "better of its two members per batch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""PSA scaling study: the paper's Figure 10 plus the Figure 7 sweeps.
+
+Three experiments on parameter-sweep workloads:
+
+1. Figure 7(a): makespan of the f-risky heuristics as the tolerated
+   risk f sweeps from secure (0) to fully risky (1) — showing the
+   interior optimum that justifies the paper's f = 0.5;
+2. Figure 7(b): STGA makespan vs the GA iteration budget — showing
+   convergence within ~50 generations;
+3. Figure 10: Min-Min f-risky vs Sufferage f-risky vs STGA as the
+   job count N scales up.
+
+Run (a few minutes at the default 5% scale):
+    python examples/psa_scaling_study.py [scale]
+"""
+
+import sys
+
+from repro.experiments.config import RunSettings
+from repro.experiments.fig7 import frisky_makespan_sweep, stga_iteration_sweep
+from repro.experiments.fig10 import psa_scaling_experiment
+from repro.util.tables import render_table
+
+
+def main(scale: float = 0.05) -> None:
+    settings = RunSettings(batch_interval=1000.0, seed=2005)
+
+    print("=== Figure 7(a): risk-level sweep ===")
+    sweep = frisky_makespan_sweep(
+        scale=scale, f_values=(0.0, 0.25, 0.5, 0.75, 1.0), settings=settings
+    )
+    print(sweep.render())
+    print(f"best f: Min-Min {sweep.best_f('minmin')}, "
+          f"Sufferage {sweep.best_f('sufferage')} (paper: 0.5-0.6)\n")
+
+    print("=== Figure 7(b): STGA convergence ===")
+    conv = stga_iteration_sweep(
+        scale=scale, generations=(0, 10, 25, 50, 100), settings=settings
+    )
+    print(conv.render())
+    print(f"converged after ~{conv.converged_after()} generations "
+          "(paper: ~50)\n")
+
+    print("=== Figure 10: scaling N ===")
+    scaling = psa_scaling_experiment(
+        n_values=(1000, 2000, 5000), scale=scale, settings=settings
+    )
+    for metric in ("makespan", "avg_response", "slowdown", "n_fail"):
+        print(scaling.render(metric))
+        print()
+
+    stga = scaling.reports["STGA"]
+    print(render_table(
+        ["N", "decision ms/batch"],
+        [
+            [n, r.scheduler_seconds / max(r.n_batches, 1) * 1e3]
+            for n, r in zip(scaling.n_values, stga)
+        ],
+        title="STGA decision time per scheduling event",
+    ))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.05)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on environments whose setuptools
+lacks the ``wheel`` package required for PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""Chromosome encoding and population initialisation (paper Figure 4).
+
+A chromosome is an integer vector of length B (batch size): position j
+holds the site assigned to job j.  All operators must keep every gene
+inside the job's *eligible site set* (determined by the active risk
+mode), so eligibility is compiled once per batch into an
+:class:`EligibleSites` lookup that supports vectorised uniform
+resampling — the primitive behind random initialisation and mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EligibleSites", "random_population", "repair_population"]
+
+
+@dataclass(frozen=True)
+class EligibleSites:
+    """Per-job eligible site sets in a padded-lookup form.
+
+    ``lookup[j, k]`` for ``k < counts[j]`` enumerates job j's eligible
+    sites; sampling a uniform eligible site for many (chromosome, gene)
+    pairs at once is then one integer draw plus one fancy index.
+    """
+
+    lookup: np.ndarray  # (B, max_count) int, padded with first site
+    counts: np.ndarray  # (B,) int, >= 1
+
+    @classmethod
+    def from_mask(cls, eligibility: np.ndarray) -> "EligibleSites":
+        """Compile a boolean (B, S) eligibility mask.
+
+        Every row must have at least one eligible site — infeasible
+        jobs are the caller's problem (the STGA defers them before the
+        GA ever runs).
+        """
+        elig = np.asarray(eligibility, dtype=bool)
+        if elig.ndim != 2:
+            raise ValueError(f"eligibility must be 2-D, got shape {elig.shape}")
+        counts = elig.sum(axis=1)
+        if (counts == 0).any():
+            bad = np.flatnonzero(counts == 0).tolist()
+            raise ValueError(f"jobs {bad} have no eligible site")
+        b, s = elig.shape
+        maxc = int(counts.max())
+        lookup = np.zeros((b, maxc), dtype=np.int64)
+        for j in range(b):
+            sites = np.flatnonzero(elig[j])
+            lookup[j, : sites.size] = sites
+            lookup[j, sites.size :] = sites[0]  # padding, never sampled
+        return cls(lookup=lookup, counts=counts.astype(np.int64))
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of genes per chromosome."""
+        return self.lookup.shape[0]
+
+    def sample(self, rng: np.random.Generator, shape: tuple) -> np.ndarray:
+        """Draw uniform eligible sites; trailing axis must be n_jobs.
+
+        Returns an integer array of ``shape`` whose ``[..., j]`` entries
+        are uniform over job j's eligible sites.
+        """
+        if shape[-1] != self.n_jobs:
+            raise ValueError(
+                f"trailing axis {shape[-1]} must equal n_jobs {self.n_jobs}"
+            )
+        u = rng.random(shape)
+        k = (u * self.counts).astype(np.int64)  # in [0, counts[j])
+        jidx = np.broadcast_to(np.arange(self.n_jobs), shape)
+        return self.lookup[jidx, k]
+
+    def allowed(self, population: np.ndarray) -> np.ndarray:
+        """Boolean mask: which genes already respect eligibility?"""
+        pop = np.asarray(population)
+        jidx = np.broadcast_to(np.arange(self.n_jobs), pop.shape)
+        # Gene is allowed iff it appears in the job's lookup row.
+        hits = self.lookup[jidx] == pop[..., None]
+        valid_slots = np.arange(self.lookup.shape[1]) < self.counts[jidx][..., None]
+        return (hits & valid_slots).any(axis=-1)
+
+
+def random_population(
+    sites: EligibleSites, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A (size, B) population of uniform eligible assignments."""
+    if size < 1:
+        raise ValueError(f"population size must be >= 1, got {size}")
+    return sites.sample(rng, (size, sites.n_jobs))
+
+
+def repair_population(
+    population: np.ndarray, sites: EligibleSites, rng: np.random.Generator
+) -> np.ndarray:
+    """Resample any gene that violates eligibility.
+
+    Used when history-table seeds produced under one risk context are
+    replayed under another (e.g. a job is now secure-only).
+    """
+    pop = np.array(population, dtype=np.int64, copy=True)
+    bad = ~sites.allowed(pop)
+    if bad.any():
+        fresh = sites.sample(rng, pop.shape)
+        pop[bad] = fresh[bad]
+    return pop

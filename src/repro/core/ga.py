@@ -1,0 +1,196 @@
+"""The genetic-algorithm core shared by the conventional GA and the STGA.
+
+:func:`evolve` is a pure array-in / array-out optimiser: given the
+batch's ETC matrix, site ready times and per-job eligibility, it runs
+the generational loop of Section 3 (roulette selection, single-point
+crossover, per-gene mutation, elitism) and returns the best assignment
+found.  The STGA differs from the conventional GA *only* in the
+``initial`` population it passes in — that is the paper's entire
+"time" dimension — so both schedulers share this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.chromosome import (
+    EligibleSites,
+    random_population,
+    repair_population,
+)
+from repro.core.fitness import population_fitness
+from repro.core.operators import (
+    apply_elitism,
+    mutate,
+    roulette_select,
+    single_point_crossover,
+)
+from repro.util.validation import check_probability
+
+__all__ = ["GAConfig", "GAResult", "evolve"]
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """GA hyper-parameters; defaults are the paper's Table 1 values."""
+
+    population_size: int = 200
+    generations: int = 100
+    crossover_prob: float = 0.8
+    mutation_prob: float = 0.01
+    n_elite: int = 2
+    #: stop early if the best fitness has not improved for this many
+    #: generations (None = run all generations, the paper's setting).
+    stall_generations: int | None = None
+    #: weight of the aggregate-flow tie-breaker in the fitness (see
+    #: :func:`repro.core.fitness.population_fitness`); 0 = pure
+    #: makespan, the paper's literal objective.
+    flow_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError(
+                f"population_size must be >= 2, got {self.population_size}"
+            )
+        if self.generations < 0:
+            raise ValueError(f"generations must be >= 0, got {self.generations}")
+        check_probability("crossover_prob", self.crossover_prob)
+        check_probability("mutation_prob", self.mutation_prob)
+        if not (0 <= self.n_elite < self.population_size):
+            raise ValueError(
+                f"n_elite must be in [0, population_size), got {self.n_elite}"
+            )
+        if self.stall_generations is not None and self.stall_generations < 1:
+            raise ValueError(
+                f"stall_generations must be >= 1 or None, "
+                f"got {self.stall_generations}"
+            )
+        if self.flow_weight < 0:
+            raise ValueError(
+                f"flow_weight must be non-negative, got {self.flow_weight}"
+            )
+
+
+@dataclass
+class GAResult:
+    """Outcome of one :func:`evolve` call."""
+
+    best: np.ndarray  # (B,) best assignment found
+    best_fitness: float
+    generations_run: int
+    #: best-so-far fitness after generation g (index 0 = initial pop);
+    #: the Figure 7(b) convergence curve is built from this.
+    history: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: fitness of the best *initial* chromosome — the "starting point
+    #: on the evolution path" contrasted in Figure 5.
+    initial_fitness: float = np.nan
+
+
+def evolve(
+    etc: np.ndarray,
+    ready: np.ndarray,
+    eligibility: np.ndarray,
+    rng: np.random.Generator,
+    config: GAConfig = GAConfig(),
+    *,
+    initial: np.ndarray | None = None,
+    track_history: bool = False,
+) -> GAResult:
+    """Run the generational GA and return the best assignment.
+
+    Parameters
+    ----------
+    etc:
+        (B, S) execution times (possibly risk-penalised, see
+        :func:`repro.core.fitness.expected_etc`).
+    ready:
+        (S,) site ready times.
+    eligibility:
+        Boolean (B, S); every job needs at least one eligible site.
+    rng:
+        Random generator driving all stochastic operators.
+    config:
+        Hyper-parameters.
+    initial:
+        Optional (K, B) seed chromosomes (the STGA's history seeds).
+        They are eligibility-repaired, then topped up with random
+        chromosomes to the configured population size; surplus seeds
+        are truncated.
+    track_history:
+        Record the best-so-far fitness per generation (costs one float
+        per generation).
+    """
+    etc = np.asarray(etc, dtype=float)
+    ready = np.asarray(ready, dtype=float)
+    b = etc.shape[0]
+    if b == 0:
+        raise ValueError("cannot evolve an empty batch")
+    sites = EligibleSites.from_mask(eligibility)
+    if sites.n_jobs != b:
+        raise ValueError(
+            f"eligibility covers {sites.n_jobs} jobs but etc has {b}"
+        )
+
+    p = config.population_size
+    if initial is not None and len(initial) > 0:
+        seeds = np.atleast_2d(initial)[:p]
+        if seeds.shape[1] != b:
+            raise ValueError(
+                f"seed chromosomes have {seeds.shape[1]} genes, expected {b}"
+            )
+        seeds = repair_population(seeds, sites, rng)
+        fill = p - seeds.shape[0]
+        if fill > 0:
+            pop = np.vstack([seeds, random_population(sites, fill, rng)])
+        else:
+            pop = seeds
+    else:
+        pop = random_population(sites, p, rng)
+
+    fit = population_fitness(pop, etc, ready, flow_weight=config.flow_weight)
+    best_idx = int(np.argmin(fit))
+    best = pop[best_idx].copy()
+    best_fit = float(fit[best_idx])
+    initial_fit = best_fit
+    history = [best_fit] if track_history else None
+
+    stall = 0
+    gens_run = 0
+    for _ in range(config.generations):
+        gens_run += 1
+        elite_idx = np.argsort(fit)[: config.n_elite]
+        elites = pop[elite_idx].copy()
+        elite_fit = fit[elite_idx].copy()
+
+        pop = roulette_select(pop, fit, rng)
+        pop = single_point_crossover(pop, config.crossover_prob, rng)
+        pop = mutate(pop, sites, config.mutation_prob, rng)
+        fit = population_fitness(
+            pop, etc, ready, flow_weight=config.flow_weight
+        )
+        pop, fit = apply_elitism(pop, fit, elites, elite_fit)
+
+        gen_best = int(np.argmin(fit))
+        if fit[gen_best] < best_fit:
+            best_fit = float(fit[gen_best])
+            best = pop[gen_best].copy()
+            stall = 0
+        else:
+            stall += 1
+        if history is not None:
+            history.append(best_fit)
+        if (
+            config.stall_generations is not None
+            and stall >= config.stall_generations
+        ):
+            break
+
+    return GAResult(
+        best=best,
+        best_fitness=best_fit,
+        generations_run=gens_run,
+        history=np.asarray(history if history is not None else [], dtype=float),
+        initial_fitness=initial_fit,
+    )

@@ -1,0 +1,159 @@
+"""The STGA history lookup table (paper Section 3, Figure 6).
+
+Each entry stores the three batch parameters — site ready times, ETC
+matrix, job security demands — together with the best schedule found
+for that batch.  On a new batch the table is queried for entries whose
+average Eq. 2 similarity exceeds the threshold (Table 1: 0.8, table
+size 150) and their stored schedules seed the GA's initial population.
+Entries are evicted LRU, where both insertion and a successful match
+count as "use" — a recurring workload keeps its seeds alive, exactly
+the temporal-locality argument the paper makes.
+
+Ready times are compared *relative to the batch instant* (the stored
+vector is ``ready - now``): two identical load patterns occurring on
+different days should match, and absolute simulation timestamps would
+otherwise dominate Eq. 2's denominator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.similarity import batch_similarity
+from repro.util.validation import check_positive
+
+__all__ = ["HistoryEntry", "HistoryTable"]
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One remembered batch and its schedule."""
+
+    ready: np.ndarray  # (S,) site ready times relative to the batch time
+    etc: np.ndarray  # (B, S) execution-time matrix
+    security_demands: np.ndarray  # (B,)
+    assignment: np.ndarray  # (B,) the schedule that was committed
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(B, S) — only same-shape entries are comparable."""
+        return self.etc.shape
+
+
+@dataclass
+class HistoryTable:
+    """Fixed-capacity LRU store of :class:`HistoryEntry` objects.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries (Table 1: 150).
+    threshold:
+        Minimum average similarity for a match (Table 1: 0.8).
+    normalized:
+        Use the length-normalised Eq. 2 (see
+        :mod:`repro.core.similarity`).
+    eviction:
+        ``"lru"`` (paper) or ``"fifo"`` (ablation baseline).
+    """
+
+    capacity: int = 150
+    threshold: float = 0.8
+    normalized: bool = True
+    eviction: str = "lru"
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _ids: itertools.count = field(default_factory=itertools.count, repr=False)
+    #: query statistics, exposed for the experiment reports
+    queries: int = 0
+    hits: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("capacity", self.capacity)
+        if not (0.0 <= self.threshold <= 1.0):
+            raise ValueError(f"threshold must be in [0,1], got {self.threshold}")
+        if self.eviction not in ("lru", "fifo"):
+            raise ValueError(
+                f"eviction must be 'lru' or 'fifo', got {self.eviction!r}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries that returned at least one seed."""
+        return self.hits / self.queries if self.queries else 0.0
+
+    def insert(self, ready, etc, security_demands, assignment) -> None:
+        """Store a batch and its committed schedule, evicting if full."""
+        etc = np.array(etc, dtype=float, copy=True)
+        entry = HistoryEntry(
+            ready=np.array(ready, dtype=float, copy=True),
+            etc=etc,
+            security_demands=np.array(security_demands, dtype=float, copy=True),
+            assignment=np.array(assignment, dtype=np.int64, copy=True),
+        )
+        if entry.assignment.shape[0] != etc.shape[0]:
+            raise ValueError(
+                f"assignment length {entry.assignment.shape[0]} does not "
+                f"match {etc.shape[0]} jobs"
+            )
+        if entry.ready.shape[0] != etc.shape[1]:
+            raise ValueError(
+                f"ready length {entry.ready.shape[0]} does not match "
+                f"{etc.shape[1]} sites"
+            )
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)  # least recently used / oldest
+        self._entries[next(self._ids)] = entry
+
+    def query(
+        self, ready, etc, security_demands, *, max_results: int | None = None
+    ) -> list[np.ndarray]:
+        """Schedules of matching entries, best-similarity first.
+
+        A match refreshes the entry's LRU position (unless eviction is
+        FIFO).  Returns copies — callers may mutate freely.
+        """
+        etc = np.asarray(etc, dtype=float)
+        ready = np.asarray(ready, dtype=float)
+        sds = np.asarray(security_demands, dtype=float)
+        self.queries += 1
+
+        scored: list[tuple[float, int]] = []
+        for key, entry in self._entries.items():
+            if entry.shape != etc.shape:
+                continue
+            sim = batch_similarity(
+                entry.ready,
+                entry.etc,
+                entry.security_demands,
+                ready,
+                etc,
+                sds,
+                normalized=self.normalized,
+            )
+            if sim >= self.threshold:
+                scored.append((sim, key))
+
+        scored.sort(key=lambda t: (-t[0], t[1]))
+        if max_results is not None:
+            scored = scored[:max_results]
+        if scored:
+            self.hits += 1
+        results = []
+        for _, key in scored:
+            if self.eviction == "lru":
+                self._entries.move_to_end(key)
+            results.append(self._entries[key].assignment.copy())
+        return results
+
+    def clear(self) -> None:
+        """Drop every entry and reset statistics."""
+        self._entries.clear()
+        self.queries = 0
+        self.hits = 0

@@ -1,0 +1,125 @@
+"""Genetic operators (paper Section 3).
+
+* *Selection* — value-based roulette wheel: smaller makespan means a
+  larger slice of the wheel.  Fitness values are mapped to weights
+  ``(worst - f) + 0.05 * span`` so the worst chromosome keeps a small
+  but non-zero survival probability (pure ``worst - f`` would zero it
+  out and collapse diversity in near-converged populations).
+* *Crossover* — single-point tail swap of chromosome pairs with
+  probability ``crossover_prob`` (paper: 0.8).
+* *Mutation* — each gene independently resamples a uniform eligible
+  site with probability ``mutation_prob`` (paper: 0.01).
+* *Elitism* — the best ``n_elite`` parents overwrite the worst
+  children, guaranteeing monotone best-so-far fitness.
+
+Everything is vectorised over the population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chromosome import EligibleSites
+
+__all__ = [
+    "selection_weights",
+    "roulette_select",
+    "single_point_crossover",
+    "mutate",
+    "apply_elitism",
+]
+
+#: floor weight as a fraction of the fitness span, keeps the wheel
+#: non-degenerate when all chromosomes are nearly equal.
+_WHEEL_FLOOR = 0.05
+
+
+def selection_weights(fitness: np.ndarray) -> np.ndarray:
+    """Roulette-wheel weights for *minimised* fitness values."""
+    fit = np.asarray(fitness, dtype=float)
+    if fit.ndim != 1 or fit.size == 0:
+        raise ValueError(f"fitness must be a non-empty 1-D array, got {fit.shape}")
+    if not np.isfinite(fit).all():
+        raise ValueError("fitness values must be finite")
+    worst = fit.max()
+    span = worst - fit.min()
+    if span == 0:
+        return np.full(fit.shape, 1.0 / fit.size)
+    w = (worst - fit) + _WHEEL_FLOOR * span
+    return w / w.sum()
+
+
+def roulette_select(
+    population: np.ndarray, fitness: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample a new (P, B) population with replacement from the wheel."""
+    pop = np.asarray(population)
+    probs = selection_weights(fitness)
+    idx = rng.choice(pop.shape[0], size=pop.shape[0], p=probs)
+    return pop[idx]
+
+
+def single_point_crossover(
+    population: np.ndarray, prob: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Crossover adjacent pairs; odd trailing chromosome passes through.
+
+    For each pair, with probability ``prob`` a cut point k in [1, B-1]
+    is drawn and the two tails ``[k:]`` are exchanged.  Chromosomes of
+    length 1 cannot cross and are returned unchanged.
+    """
+    pop = np.array(population, copy=True)
+    p, b = pop.shape
+    if b < 2 or p < 2 or prob <= 0:
+        return pop
+    n_pairs = p // 2
+    a = pop[0 : 2 * n_pairs : 2]
+    c = pop[1 : 2 * n_pairs : 2]
+    crossing = rng.random(n_pairs) < prob
+    points = rng.integers(1, b, size=n_pairs)
+    tail = (np.arange(b)[None, :] >= points[:, None]) & crossing[:, None]
+    new_a = np.where(tail, c, a)
+    new_c = np.where(tail, a, c)
+    pop[0 : 2 * n_pairs : 2] = new_a
+    pop[1 : 2 * n_pairs : 2] = new_c
+    return pop
+
+
+def mutate(
+    population: np.ndarray,
+    sites: EligibleSites,
+    prob: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-gene mutation: resample an eligible site with prob ``prob``."""
+    pop = np.array(population, copy=True)
+    if prob <= 0:
+        return pop
+    mask = rng.random(pop.shape) < prob
+    if mask.any():
+        fresh = sites.sample(rng, pop.shape)
+        pop[mask] = fresh[mask]
+    return pop
+
+
+def apply_elitism(
+    children: np.ndarray,
+    child_fitness: np.ndarray,
+    elites: np.ndarray,
+    elite_fitness: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Overwrite the worst children with the elite parents.
+
+    Returns the updated (population, fitness) pair; inputs are not
+    modified.  Guarantees the best fitness never regresses between
+    generations.
+    """
+    n_elite = elites.shape[0]
+    if n_elite == 0:
+        return children, child_fitness
+    pop = np.array(children, copy=True)
+    fit = np.array(child_fitness, dtype=float, copy=True)
+    worst = np.argsort(fit)[-n_elite:]
+    pop[worst] = elites
+    fit[worst] = elite_fitness
+    return pop, fit

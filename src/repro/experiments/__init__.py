@@ -1,0 +1,78 @@
+"""Experiment harness: one driver per paper table/figure plus the
+ablation studies (see DESIGN.md §5 for the experiment index)."""
+
+from repro.experiments.ablation import (
+    GAComparisonResult,
+    eviction_comparison,
+    failure_point_comparison,
+    lambda_sensitivity,
+    lookup_capacity_sweep,
+    risk_penalty_sweep,
+    stga_vs_conventional,
+    threshold_sweep,
+)
+from repro.experiments.config import PaperDefaults, RunSettings, bench_scale
+from repro.experiments.fig7 import (
+    DEFAULT_F_GRID,
+    DEFAULT_ITERATION_GRID,
+    FriskySweepResult,
+    StgaIterationSweepResult,
+    frisky_makespan_sweep,
+    stga_iteration_sweep,
+)
+from repro.experiments.fig8 import NASExperimentResult, nas_experiment
+from repro.experiments.fig9 import UtilizationPanel, utilization_panels
+from repro.experiments.fig10 import (
+    DEFAULT_N_GRID,
+    PSAScalingResult,
+    psa_scaling_experiment,
+)
+from repro.experiments.report import generate_report
+from repro.experiments.sensitivity import (
+    batch_interval_sweep,
+    estimation_error_sweep,
+)
+from repro.experiments.runner import (
+    make_trained_stga,
+    run_lineup,
+    run_scheduler,
+    scale_jobs,
+)
+from repro.experiments.table2 import PAPER_TABLE2, render_table2, table2_rows
+
+__all__ = [
+    "PaperDefaults",
+    "RunSettings",
+    "bench_scale",
+    "FriskySweepResult",
+    "StgaIterationSweepResult",
+    "frisky_makespan_sweep",
+    "stga_iteration_sweep",
+    "DEFAULT_F_GRID",
+    "DEFAULT_ITERATION_GRID",
+    "NASExperimentResult",
+    "nas_experiment",
+    "UtilizationPanel",
+    "utilization_panels",
+    "PSAScalingResult",
+    "psa_scaling_experiment",
+    "DEFAULT_N_GRID",
+    "table2_rows",
+    "render_table2",
+    "PAPER_TABLE2",
+    "run_scheduler",
+    "run_lineup",
+    "make_trained_stga",
+    "scale_jobs",
+    "GAComparisonResult",
+    "stga_vs_conventional",
+    "lookup_capacity_sweep",
+    "threshold_sweep",
+    "eviction_comparison",
+    "lambda_sensitivity",
+    "failure_point_comparison",
+    "risk_penalty_sweep",
+    "generate_report",
+    "batch_interval_sweep",
+    "estimation_error_sweep",
+]

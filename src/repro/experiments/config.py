@@ -1,0 +1,96 @@
+"""Experiment configuration (paper Table 1 + engine settings).
+
+:class:`PaperDefaults` pins every Table 1 value in one place; the
+benchmark that "reproduces Table 1" asserts that the library defaults
+agree with it.  :class:`RunSettings` carries the engine parameters the
+paper leaves unspecified (batch interval, failure-rate constant λ,
+seeds) with our documented choices (DESIGN.md §3-4).
+
+Because the full paper-scale runs (16 000 NAS jobs x 7 schedulers,
+100-generation GA per batch) take minutes, every experiment function
+accepts a ``scale`` factor: job counts are multiplied by it while all
+distributional parameters stay fixed.  ``scale=1.0`` is the paper;
+benches default to the value of the ``REPRO_SCALE`` environment
+variable (or a small built-in) so CI stays fast.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.ga import GAConfig
+from repro.grid.security import DEFAULT_LAMBDA
+
+__all__ = ["PaperDefaults", "RunSettings", "bench_scale"]
+
+
+@dataclass(frozen=True)
+class PaperDefaults:
+    """Table 1 of the paper, verbatim."""
+
+    nas_n_jobs: int = 16_000
+    psa_n_jobs: int = 5_000
+    nas_n_sites: int = 12
+    psa_n_sites: int = 20
+    psa_arrival_rate: float = 0.008
+    psa_workload_levels: int = 20
+    #: Table 1's printed value — see the calibration note in
+    #: :mod:`repro.workloads.psa`: the paper's own makespans imply the
+    #: calibrated value below, which the generator defaults to.
+    psa_max_workload_printed: float = 300_000.0
+    psa_max_workload: float = 30_000.0
+    nas_site_nodes: tuple[int, ...] = (16, 16, 16, 16, 8, 8, 8, 8, 8, 8, 8, 8)
+    psa_speed_levels: int = 10
+    site_security_range: tuple[float, float] = (0.4, 1.0)
+    job_security_range: tuple[float, float] = (0.6, 0.9)
+    generations: int = 100
+    population_size: int = 200
+    crossover_prob: float = 0.8
+    mutation_prob: float = 0.01
+    lookup_table_size: int = 150
+    n_training_jobs: int = 500
+    similarity_threshold: float = 0.8
+    f_risky: float = 0.5
+
+    def ga_config(self, **overrides) -> GAConfig:
+        """Table 1's GA hyper-parameters as a :class:`GAConfig`."""
+        kwargs = dict(
+            population_size=self.population_size,
+            generations=self.generations,
+            crossover_prob=self.crossover_prob,
+            mutation_prob=self.mutation_prob,
+        )
+        kwargs.update(overrides)
+        return GAConfig(**kwargs)
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Engine parameters not fixed by the paper (see DESIGN.md §4).
+
+    ``ga`` defaults to Table 1's hyper-parameters plus
+    ``flow_weight=1.0`` — the flow tie-breaker in the GA fitness that
+    our calibration selected (DESIGN.md §4); set ``flow_weight=0`` for
+    the literal makespan-only objective.
+    """
+
+    batch_interval: float = 1000.0
+    lam: float = DEFAULT_LAMBDA
+    failure_point: str = "uniform"
+    fallback: str = "force_max_sl"
+    seed: int = 2005  # the venue year; any value works
+    ga: GAConfig = field(
+        default_factory=lambda: PaperDefaults().ga_config(flow_weight=1.0)
+    )
+
+
+def bench_scale(default: float = 0.05) -> float:
+    """Benchmark scale factor from ``REPRO_SCALE`` (1.0 = paper size)."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return default
+    value = float(raw)
+    if not (0 < value <= 1.0):
+        raise ValueError(f"REPRO_SCALE must be in (0, 1], got {raw!r}")
+    return value

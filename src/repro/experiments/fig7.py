@@ -1,0 +1,152 @@
+"""Figure 7 — the paper's two parameter-selection studies on PSA
+workloads with N = 1000 jobs.
+
+(a) Makespan of Min-Min f-risky and Sufferage f-risky as f sweeps from
+    0 (secure) to 1 (risky).  The paper observes concave curves with
+    minima around f = 0.5-0.6, justifying f = 0.5 everywhere else.
+(b) Makespan of the STGA as a function of the GA generation budget.
+    The paper sees fluctuation up to ~25 iterations, convergence
+    around 40-50, and a flat curve beyond — justifying 100 iterations
+    as a safe default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import PaperDefaults, RunSettings
+from repro.experiments.runner import make_trained_stga, run_scheduler, scale_jobs
+from repro.heuristics.minmin import MinMinScheduler
+from repro.heuristics.sufferage import SufferageScheduler
+from repro.util.tables import render_table
+from repro.workloads.psa import PSAConfig, psa_scenario
+
+__all__ = [
+    "FriskySweepResult",
+    "frisky_makespan_sweep",
+    "StgaIterationSweepResult",
+    "stga_iteration_sweep",
+    "DEFAULT_F_GRID",
+    "DEFAULT_ITERATION_GRID",
+]
+
+DEFAULT_F_GRID = tuple(np.round(np.linspace(0.0, 1.0, 11), 2))
+DEFAULT_ITERATION_GRID = (0, 5, 10, 25, 40, 50, 75, 100, 150, 200)
+
+
+def _psa(n_jobs: int, seed: int) -> PSAConfig:
+    return PSAConfig(n_jobs=n_jobs)
+
+
+@dataclass(frozen=True)
+class FriskySweepResult:
+    """Series for Figure 7(a)."""
+
+    f_values: np.ndarray
+    minmin_makespan: np.ndarray
+    sufferage_makespan: np.ndarray
+
+    def best_f(self, which: str = "minmin") -> float:
+        """f value attaining the minimum makespan."""
+        series = (
+            self.minmin_makespan if which == "minmin" else self.sufferage_makespan
+        )
+        return float(self.f_values[int(np.argmin(series))])
+
+    def render(self) -> str:
+        """Paper-style series table."""
+        rows = [
+            [f, mm, sf]
+            for f, mm, sf in zip(
+                self.f_values, self.minmin_makespan, self.sufferage_makespan
+            )
+        ]
+        return render_table(
+            ["f", "Min-Min f-Risky makespan", "Sufferage f-Risky makespan"],
+            rows,
+            title="Figure 7(a): makespan vs risk level f (PSA)",
+        )
+
+
+def frisky_makespan_sweep(
+    *,
+    n_jobs: int = 1000,
+    scale: float = 1.0,
+    f_values=DEFAULT_F_GRID,
+    settings: RunSettings = RunSettings(),
+) -> FriskySweepResult:
+    """Run Figure 7(a): one simulation per (heuristic, f) pair."""
+    n = scale_jobs(n_jobs, scale)
+    scenario = psa_scenario(_psa(n, settings.seed), rng=settings.seed)
+    fs = np.asarray(f_values, dtype=float)
+    mm = np.empty(fs.size)
+    sf = np.empty(fs.size)
+    for i, f in enumerate(fs):
+        mm[i] = run_scheduler(
+            scenario, MinMinScheduler("f-risky", f=float(f), lam=settings.lam),
+            settings,
+        ).makespan
+        sf[i] = run_scheduler(
+            scenario,
+            SufferageScheduler("f-risky", f=float(f), lam=settings.lam),
+            settings,
+        ).makespan
+    return FriskySweepResult(
+        f_values=fs, minmin_makespan=mm, sufferage_makespan=sf
+    )
+
+
+@dataclass(frozen=True)
+class StgaIterationSweepResult:
+    """Series for Figure 7(b)."""
+
+    generations: np.ndarray
+    makespan: np.ndarray
+
+    def converged_after(self, *, rel_tol: float = 0.01) -> int:
+        """First generation budget whose makespan is within ``rel_tol``
+        of the best over the grid (the paper's "converges at ~50")."""
+        best = self.makespan.min()
+        ok = self.makespan <= best * (1 + rel_tol)
+        return int(self.generations[int(np.argmax(ok))])
+
+    def render(self) -> str:
+        """Paper-style series table."""
+        return render_table(
+            ["generations", "STGA makespan"],
+            list(zip(self.generations, self.makespan)),
+            title="Figure 7(b): STGA makespan vs iteration budget (PSA)",
+        )
+
+
+def stga_iteration_sweep(
+    *,
+    n_jobs: int = 1000,
+    scale: float = 1.0,
+    generations=DEFAULT_ITERATION_GRID,
+    settings: RunSettings = RunSettings(),
+    defaults: PaperDefaults = PaperDefaults(),
+) -> StgaIterationSweepResult:
+    """Run Figure 7(b): one full simulation per generation budget."""
+    n = scale_jobs(n_jobs, scale)
+    scenario = psa_scenario(_psa(n, settings.seed), rng=settings.seed)
+    n_train = scale_jobs(defaults.n_training_jobs, scale)
+    training = psa_scenario(
+        PSAConfig(n_jobs=n_train), rng=settings.seed + 7919
+    )
+    gens = np.asarray(sorted(set(int(g) for g in generations)), dtype=int)
+    if (gens < 0).any():
+        raise ValueError("generation budgets must be non-negative")
+    spans = np.empty(gens.size)
+    for i, g in enumerate(gens):
+        stga = make_trained_stga(
+            scenario,
+            training,
+            settings,
+            defaults=defaults,
+            ga_config=defaults.ga_config(generations=int(g)),
+        )
+        spans[i] = run_scheduler(scenario, stga, settings).makespan
+    return StgaIterationSweepResult(generations=gens, makespan=spans)

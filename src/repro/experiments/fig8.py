@@ -1,0 +1,83 @@
+"""Figure 8 — the seven-algorithm comparison on the NAS trace workload.
+
+Four panels over one set of runs: (a) makespan, (b) N_fail / N_risk,
+(c) slowdown ratio, (d) average response time, for Min-Min and
+Sufferage in secure / f-risky / risky mode plus the STGA.  Figure 9
+and Table 2 reuse the same reports, so :func:`nas_experiment` is the
+single entry point for the NAS study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.ga import GAConfig
+from repro.experiments.config import PaperDefaults, RunSettings
+from repro.experiments.runner import run_lineup, scale_jobs
+from repro.metrics.report import PerformanceReport
+from repro.util.tables import render_table
+from repro.workloads.nas import NASConfig, nas_scenario
+
+__all__ = ["NASExperimentResult", "nas_experiment"]
+
+
+@dataclass(frozen=True)
+class NASExperimentResult:
+    """Reports for the seven algorithms, in presentation order."""
+
+    reports: tuple[PerformanceReport, ...]
+
+    def by_name(self) -> dict[str, PerformanceReport]:
+        """Index the reports by scheduler name."""
+        return {r.scheduler: r for r in self.reports}
+
+    @property
+    def stga(self) -> PerformanceReport:
+        """The STGA row."""
+        return self.by_name()["STGA"]
+
+    def render(self) -> str:
+        """All four panels as one metrics table."""
+        return render_table(
+            list(PerformanceReport.ROW_HEADERS),
+            [r.row() for r in self.reports],
+            title="Figure 8: NAS trace workload, all Section 4.1 metrics",
+        )
+
+
+def nas_experiment(
+    *,
+    scale: float = 1.0,
+    settings: RunSettings = RunSettings(),
+    defaults: PaperDefaults = PaperDefaults(),
+    ga_config: GAConfig | None = None,
+    nas_config: NASConfig | None = None,
+) -> NASExperimentResult:
+    """Run the Figure 8 / Figure 9 / Table 2 experiment.
+
+    ``scale`` shrinks the job counts (trace *and* training set) while
+    keeping the squeezed 46-day horizon and all distributions; the
+    trace-day count is shrunk proportionally so arrival pressure per
+    day is preserved.
+    """
+    base = nas_config if nas_config is not None else NASConfig()
+    n = scale_jobs(base.n_jobs, scale)
+    days = max(2, int(round(base.trace_days * scale)))
+    cfg = replace(base, n_jobs=n, trace_days=days)
+    scenario = nas_scenario(cfg, rng=settings.seed)
+
+    n_train = scale_jobs(defaults.n_training_jobs, scale)
+    train_days = max(1, int(round(days * n_train / max(n, 1))))
+    training = nas_scenario(
+        replace(base, n_jobs=n_train, trace_days=train_days),
+        rng=settings.seed + 7919,
+    )
+
+    reports = run_lineup(
+        scenario,
+        training,
+        settings,
+        defaults=defaults,
+        ga_config=ga_config,
+    )
+    return NASExperimentResult(reports=tuple(reports))

@@ -1,0 +1,64 @@
+"""Grid substrate: jobs, sites, the security/risk model, the ETC model
+and the discrete-event simulation engine for periodic online batch
+scheduling (paper Section 2)."""
+
+from repro.grid.batch import Batch, ScheduleResult
+from repro.grid.engine import GridSimulator, SchedulerDeadlock, SimulationResult
+from repro.grid.etc import completion_matrix, etc_matrix, masked_completion
+from repro.grid.events import Event, EventKind, EventQueue
+from repro.grid.job import Job, JobRecord, JobState
+from repro.grid.reliability import (
+    BUILTIN_LAWS,
+    ExponentialFailure,
+    FailureLaw,
+    LinearFailure,
+    StepFailure,
+    WeibullFailure,
+    make_failure_law,
+)
+from repro.grid.security import (
+    DEFAULT_LAMBDA,
+    RiskMode,
+    eligibility_matrix,
+    eligible_sites,
+    failure_probability,
+    max_tolerable_gap,
+    risk_tolerance,
+)
+from repro.grid.site import Grid, Site
+from repro.grid.trace import Attempt, AttemptLog
+
+__all__ = [
+    "Batch",
+    "ScheduleResult",
+    "GridSimulator",
+    "SimulationResult",
+    "SchedulerDeadlock",
+    "etc_matrix",
+    "completion_matrix",
+    "masked_completion",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Job",
+    "JobRecord",
+    "JobState",
+    "DEFAULT_LAMBDA",
+    "RiskMode",
+    "failure_probability",
+    "max_tolerable_gap",
+    "risk_tolerance",
+    "eligibility_matrix",
+    "eligible_sites",
+    "Grid",
+    "Site",
+    "FailureLaw",
+    "ExponentialFailure",
+    "WeibullFailure",
+    "StepFailure",
+    "LinearFailure",
+    "BUILTIN_LAWS",
+    "make_failure_law",
+    "Attempt",
+    "AttemptLog",
+]

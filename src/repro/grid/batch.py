@@ -1,0 +1,135 @@
+"""The batch view handed to schedulers, and their reply.
+
+At every scheduling tick the engine snapshots the queue and the grid
+into a :class:`Batch` — exactly the information the paper's lookup
+table stores per entry: the site ready times, the job execution-time
+(ETC) matrix, and the job security demands.  Schedulers are pure
+functions ``Batch -> ScheduleResult`` and never touch engine state,
+which is what makes the GA fitness evaluation and the history-table
+machinery testable in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Batch", "ScheduleResult"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """Immutable snapshot of one scheduling event.
+
+    Attributes
+    ----------
+    now:
+        Simulation time of the tick.
+    job_ids:
+        Global job identifiers, shape (B,).
+    workloads:
+        Job workloads (node-seconds), shape (B,).
+    security_demands:
+        Job SD values, shape (B,).
+    secure_only:
+        True for jobs that previously failed and must now be placed on
+        absolutely safe sites, shape (B,).
+    etc:
+        Execution-time matrix, shape (B, S).
+    ready:
+        Site next-available times, clipped to >= now, shape (S,).
+    site_security:
+        Site SL values, shape (S,).
+    speeds:
+        Site speeds, shape (S,).
+    """
+
+    now: float
+    job_ids: np.ndarray
+    workloads: np.ndarray
+    security_demands: np.ndarray
+    secure_only: np.ndarray
+    etc: np.ndarray
+    ready: np.ndarray
+    site_security: np.ndarray
+    speeds: np.ndarray
+
+    def __post_init__(self) -> None:
+        b, s = self.etc.shape
+        for name in ("job_ids", "workloads", "security_demands", "secure_only"):
+            arr = getattr(self, name)
+            if arr.shape != (b,):
+                raise ValueError(
+                    f"{name} has shape {arr.shape}, expected ({b},) to match etc"
+                )
+        for name in ("ready", "site_security", "speeds"):
+            arr = getattr(self, name)
+            if arr.shape != (s,):
+                raise ValueError(
+                    f"{name} has shape {arr.shape}, expected ({s},) to match etc"
+                )
+
+    @property
+    def n_jobs(self) -> int:
+        """Batch size B."""
+        return self.etc.shape[0]
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites S."""
+        return self.etc.shape[1]
+
+    def completion(self) -> np.ndarray:
+        """Expected completion matrix ``max(ready, now) + etc``."""
+        return np.maximum(self.ready, self.now)[None, :] + self.etc
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """A scheduler's decision for one batch.
+
+    Attributes
+    ----------
+    assignment:
+        Site index per batch job, shape (B,); ``-1`` defers the job to
+        a later batch (e.g. no eligible site exists).
+    order:
+        Indices (into the batch) of *assigned* jobs in dispatch order.
+        Dispatch order determines per-job start times when several
+        jobs share a site; heuristics return their natural assignment
+        order, the GA returns batch order.
+    """
+
+    assignment: np.ndarray
+    order: np.ndarray
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.assignment)
+        o = np.asarray(self.order)
+        if a.ndim != 1:
+            raise ValueError(f"assignment must be 1-D, got shape {a.shape}")
+        if o.ndim != 1:
+            raise ValueError(f"order must be 1-D, got shape {o.shape}")
+        assigned = np.flatnonzero(a >= 0)
+        if sorted(o.tolist()) != sorted(assigned.tolist()):
+            raise ValueError(
+                "order must be a permutation of the assigned job indices: "
+                f"order={o.tolist()} assigned={assigned.tolist()}"
+            )
+
+    @classmethod
+    def from_assignment(cls, assignment) -> "ScheduleResult":
+        """Build a result dispatching assigned jobs in batch order."""
+        a = np.asarray(assignment, dtype=int)
+        return cls(assignment=a, order=np.flatnonzero(a >= 0))
+
+    @property
+    def n_assigned(self) -> int:
+        """Number of jobs actually placed this batch."""
+        return int((np.asarray(self.assignment) >= 0).sum())
+
+    @property
+    def n_deferred(self) -> int:
+        """Number of jobs pushed to a later batch."""
+        return int((np.asarray(self.assignment) < 0).sum())

@@ -1,0 +1,383 @@
+"""Discrete-event simulation engine for periodic online batch scheduling.
+
+This implements the paper's Figure 1 system model:
+
+1. jobs *arrive* over time and accumulate in the scheduler queue;
+2. every ``batch_interval`` simulated seconds a *scheduling event*
+   fires, the pluggable batch scheduler maps the queued jobs to sites,
+   and the engine dispatches them;
+3. dispatched jobs occupy their site serially in dispatch order; at
+   the end of an attempt the Eq. 1 failure model decides success;
+4. a failed job re-enters the queue flagged *secure-only* — the paper's
+   fail-stop rule that a failed job "will not ... take any risk again".
+
+The engine is scheduler-agnostic: anything exposing
+``schedule(batch: Batch) -> ScheduleResult`` (see
+:mod:`repro.heuristics.base`) plugs in, which is how the six
+security-driven heuristics and the STGA are all evaluated on identical
+event streams.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.batch import Batch, ScheduleResult
+from repro.grid.etc import etc_matrix
+from repro.grid.events import Event, EventKind, EventQueue
+from repro.grid.job import Job, JobRecord, JobState
+from repro.grid.reliability import ExponentialFailure, FailureLaw
+from repro.grid.security import DEFAULT_LAMBDA
+from repro.grid.site import Grid
+from repro.grid.trace import Attempt, AttemptLog
+from repro.util.rng import as_generator
+from repro.util.timing import Stopwatch
+from repro.util.validation import check_positive
+
+__all__ = ["GridSimulator", "SimulationResult", "SchedulerDeadlock"]
+
+
+class SchedulerDeadlock(RuntimeError):
+    """Raised when queued jobs can never be placed and fallback is off."""
+
+
+@dataclass
+class SimulationResult:
+    """Everything the metrics layer needs about one simulation run."""
+
+    grid: Grid
+    records: list[JobRecord]
+    busy_time: np.ndarray  # (S,) seconds each site was occupied
+    makespan: float  # max job completion time
+    n_batches: int  # scheduling events that dispatched >= 1 job
+    n_forced: int  # jobs placed by the engine fallback
+    scheduler_seconds: float  # wall-clock time inside scheduler.schedule
+    batch_sizes: list[int] = field(default_factory=list)
+    #: per-attempt execution trace; populated only when the simulator
+    #: was built with ``record_attempts=True``
+    attempts: AttemptLog | None = None
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of simulated jobs."""
+        return len(self.records)
+
+    def completions(self) -> np.ndarray:
+        """Vector of job completion times ``c_i``."""
+        return np.array([r.completion for r in self.records], dtype=float)
+
+    def arrivals(self) -> np.ndarray:
+        """Vector of job arrival times ``a_i``."""
+        return np.array([r.job.arrival for r in self.records], dtype=float)
+
+    def first_starts(self) -> np.ndarray:
+        """Vector of first-attempt start times ``b_i``."""
+        return np.array([r.first_start for r in self.records], dtype=float)
+
+
+class GridSimulator:
+    """Simulate one workload under one scheduler on one grid.
+
+    Parameters
+    ----------
+    grid:
+        The resource sites.
+    scheduler:
+        Batch scheduler implementing ``schedule(Batch) -> ScheduleResult``.
+    batch_interval:
+        Seconds between scheduling events (paper: "jobs are
+        accumulated and then scheduled in batches").
+    lam:
+        Eq. 1 failure-rate constant.
+    failure_point:
+        Where inside a doomed attempt the fail-stop occurs:
+        ``"uniform"`` (default) draws the abort point uniformly over
+        the attempt, ``"end"`` charges the full execution time.
+    fallback:
+        ``"force_max_sl"`` (default) places a job that no scheduler
+        will accept (e.g. SD above every SL under secure mode) on the
+        most secure site once the system would otherwise deadlock;
+        ``"error"`` raises :class:`SchedulerDeadlock` instead.
+    rng:
+        Seed or generator for failure sampling.
+    failure_law:
+        Pluggable :class:`~repro.grid.reliability.FailureLaw`; the
+        default is Eq. 1's exponential law with rate ``lam``.  Note
+        the *schedulers'* f-risky eligibility always uses Eq. 1 — the
+        scheduler's beliefs and the world's behaviour are decoupled on
+        purpose (model-mismatch studies).
+    record_attempts:
+        Keep a per-attempt :class:`~repro.grid.trace.AttemptLog` in
+        the result (costs one record per dispatch).
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        scheduler,
+        *,
+        batch_interval: float = 100.0,
+        lam: float = DEFAULT_LAMBDA,
+        failure_point: str = "uniform",
+        fallback: str = "force_max_sl",
+        rng: int | np.random.Generator | None = 0,
+        failure_law: FailureLaw | None = None,
+        record_attempts: bool = False,
+    ) -> None:
+        if not hasattr(scheduler, "schedule"):
+            raise TypeError(
+                f"scheduler {scheduler!r} lacks a schedule(batch) method"
+            )
+        if failure_point not in ("uniform", "end"):
+            raise ValueError(
+                f"failure_point must be 'uniform' or 'end', got {failure_point!r}"
+            )
+        if fallback not in ("force_max_sl", "error"):
+            raise ValueError(
+                f"fallback must be 'force_max_sl' or 'error', got {fallback!r}"
+            )
+        check_positive("batch_interval", batch_interval)
+        check_positive("lam", lam)
+        self.grid = grid
+        self.scheduler = scheduler
+        self.batch_interval = float(batch_interval)
+        self.lam = float(lam)
+        self.failure_point = failure_point
+        self.fallback = fallback
+        self.rng = as_generator(rng)
+        if failure_law is None:
+            failure_law = ExponentialFailure(lam=lam)
+        if not isinstance(failure_law, FailureLaw):
+            raise TypeError(
+                f"failure_law must be a FailureLaw, got {failure_law!r}"
+            )
+        self.failure_law = failure_law
+        self.record_attempts = record_attempts
+        self.stopwatch = Stopwatch()
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job] | Iterable[Job]) -> SimulationResult:
+        """Simulate ``jobs`` to completion and return the result."""
+        jobs = list(jobs)
+        if not jobs:
+            raise ValueError("cannot simulate an empty workload")
+        records = [JobRecord(job=j) for j in jobs]
+        by_id = {j.job_id: i for i, j in enumerate(jobs)}
+        if len(by_id) != len(jobs):
+            raise ValueError("duplicate job_ids in workload")
+
+        events = EventQueue()
+        for j in jobs:
+            events.push(Event(j.arrival, EventKind.ARRIVAL, j.job_id))
+
+        queue: list[int] = []  # pending job ids, FIFO
+        outcome: dict[int, bool] = {}  # job_id -> attempt failed?
+        self._log = AttemptLog() if self.record_attempts else None
+        free = np.zeros(self.grid.n_sites, dtype=float)  # site ready times
+        busy = np.zeros(self.grid.n_sites, dtype=float)
+        running = 0
+        tick_pending = False
+        n_batches = 0
+        n_forced = 0
+        batch_sizes: list[int] = []
+        done = 0
+
+        def ensure_tick(now: float) -> None:
+            nonlocal tick_pending
+            if not tick_pending:
+                events.push(Event(now + self.batch_interval, EventKind.SCHEDULE))
+                tick_pending = True
+
+        while done < len(jobs):
+            if not events:
+                raise SchedulerDeadlock(
+                    f"{len(jobs) - done} job(s) unfinished but no events remain"
+                )
+            ev = events.pop()
+            now = ev.time
+
+            if ev.kind is EventKind.ARRIVAL:
+                queue.append(ev.payload)
+                ensure_tick(now)
+                continue
+
+            if ev.kind is EventKind.COMPLETION:
+                running -= 1
+                idx = by_id[ev.payload]
+                rec = records[idx]
+                failed = outcome.pop(ev.payload)
+                if failed:
+                    rec.ever_failed = True
+                    rec.secure_only = True
+                    rec.state = JobState.FAILED
+                    queue.append(ev.payload)
+                    ensure_tick(now)
+                else:
+                    rec.state = JobState.DONE
+                    done += 1
+                continue
+
+            # SCHEDULE tick
+            tick_pending = False
+            if not queue:
+                continue
+            batch_ids = list(queue)
+            queue.clear()
+            batch = self._build_batch(now, batch_ids, records, by_id, free)
+            with self.stopwatch.measure("scheduler"):
+                result = self.scheduler.schedule(batch)
+            self._check_result(result, batch)
+
+            dispatched = self._dispatch(
+                now, batch, result, records, by_id, free, busy, outcome, events
+            )
+            running += dispatched
+            if dispatched:
+                n_batches += 1
+                batch_sizes.append(dispatched)
+
+            deferred = [
+                batch_ids[i]
+                for i in range(batch.n_jobs)
+                if result.assignment[i] < 0
+            ]
+            if deferred:
+                queue.extend(deferred)
+                if running == 0 and len(events) == 0:
+                    # Nothing in flight and nothing inbound: the queue
+                    # can never drain on its own.
+                    if self.fallback == "error":
+                        raise SchedulerDeadlock(
+                            f"jobs {deferred} have no eligible site and "
+                            "fallback='error'"
+                        )
+                    n_forced += self._force_dispatch(
+                        now, deferred, records, by_id, free, busy, outcome, events
+                    )
+                    running += len(deferred)
+                    queue.clear()
+                else:
+                    ensure_tick(now)
+
+        makespan = max(r.completion for r in records)
+        log = self._log
+        self._log = None
+        return SimulationResult(
+            grid=self.grid,
+            records=records,
+            busy_time=busy,
+            makespan=float(makespan),
+            n_batches=n_batches,
+            n_forced=n_forced,
+            scheduler_seconds=self.stopwatch.total("scheduler"),
+            batch_sizes=batch_sizes,
+            attempts=log,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_batch(self, now, batch_ids, records, by_id, free) -> Batch:
+        idxs = [by_id[jid] for jid in batch_ids]
+        workloads = np.array([records[i].job.workload for i in idxs], dtype=float)
+        sds = np.array(
+            [records[i].job.security_demand for i in idxs], dtype=float
+        )
+        secure_only = np.array([records[i].secure_only for i in idxs], dtype=bool)
+        return Batch(
+            now=now,
+            job_ids=np.array(batch_ids, dtype=int),
+            workloads=workloads,
+            security_demands=sds,
+            secure_only=secure_only,
+            etc=etc_matrix(workloads, self.grid.speeds),
+            ready=np.maximum(free, now),
+            site_security=self.grid.security_levels.copy(),
+            speeds=self.grid.speeds.copy(),
+        )
+
+    @staticmethod
+    def _check_result(result: ScheduleResult, batch: Batch) -> None:
+        a = np.asarray(result.assignment)
+        if a.shape != (batch.n_jobs,):
+            raise ValueError(
+                f"scheduler returned assignment of shape {a.shape} for a "
+                f"batch of {batch.n_jobs} jobs"
+            )
+        if (a >= batch.n_sites).any():
+            raise ValueError(
+                f"scheduler assigned a site index >= {batch.n_sites}"
+            )
+
+    def _start_attempt(
+        self, now, rec, site_idx, free, busy, outcome, events
+    ) -> None:
+        """Dispatch one attempt of ``rec.job`` onto ``site_idx``."""
+        sl = float(self.grid.security_levels[site_idx])
+        speed = float(self.grid.speeds[site_idx])
+        start = max(float(free[site_idx]), now)
+        exec_time = rec.job.workload / speed
+
+        pfail = self.failure_law.probability(rec.job.security_demand, sl)
+        fails = bool(self.rng.random() < pfail)
+        if fails:
+            frac = (
+                float(self.rng.uniform(np.finfo(float).tiny, 1.0))
+                if self.failure_point == "uniform"
+                else 1.0
+            )
+            occupancy = exec_time * frac
+        else:
+            occupancy = exec_time
+        end = start + occupancy
+
+        rec.attempts += 1
+        if rec.attempts == 1:
+            rec.first_start = start
+        rec.state = JobState.RUNNING
+        rec.sites_visited.append(site_idx)
+        if sl < rec.job.security_demand:
+            rec.took_risk = True
+        if not fails:
+            rec.completion = end
+
+        free[site_idx] = end
+        busy[site_idx] += occupancy
+        outcome[rec.job.job_id] = fails
+        if self._log is not None:
+            self._log.record(
+                Attempt(
+                    job_id=rec.job.job_id,
+                    site_id=site_idx,
+                    start=start,
+                    end=end,
+                    failed=fails,
+                    risky=sl < rec.job.security_demand,
+                    attempt_index=rec.attempts,
+                )
+            )
+        events.push(Event(end, EventKind.COMPLETION, rec.job.job_id))
+
+    def _dispatch(
+        self, now, batch, result, records, by_id, free, busy, outcome, events
+    ) -> int:
+        dispatched = 0
+        assignment = np.asarray(result.assignment, dtype=int)
+        for i in np.asarray(result.order, dtype=int):
+            s = int(assignment[i])
+            rec = records[by_id[int(batch.job_ids[i])]]
+            self._start_attempt(now, rec, s, free, busy, outcome, events)
+            dispatched += 1
+        return dispatched
+
+    def _force_dispatch(
+        self, now, job_ids, records, by_id, free, busy, outcome, events
+    ) -> int:
+        """Fallback: place stuck jobs on the most secure site."""
+        target = self.grid.max_security_site()
+        for jid in job_ids:
+            rec = records[by_id[jid]]
+            rec.forced = True
+            self._start_attempt(now, rec, target, free, busy, outcome, events)
+        return len(job_ids)

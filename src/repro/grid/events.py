@@ -1,0 +1,82 @@
+"""Event types and the event queue for the discrete-event engine.
+
+Three event kinds drive the periodic online scheduling model of the
+paper's Figure 1:
+
+* ``ARRIVAL``     — a job enters the scheduler queue;
+* ``SCHEDULE``    — the periodic batch-scheduling tick;
+* ``COMPLETION``  — a running attempt ends (successfully or failed).
+
+Events at equal timestamps are ordered ARRIVAL < SCHEDULE < COMPLETION
+is *not* what we want: completions must be processed before the
+scheduling tick at the same instant (so the freed site's state and a
+failed job's resubmission are visible to the scheduler), and arrivals
+likewise.  Hence the kind-priority ordering COMPLETION < ARRIVAL <
+SCHEDULE, with a monotone sequence number as the final tie-breaker for
+determinism.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.IntEnum):
+    """Event kinds in same-timestamp processing order."""
+
+    COMPLETION = 0
+    ARRIVAL = 1
+    SCHEDULE = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled simulation event.
+
+    ``payload`` is the job id for ARRIVAL/COMPLETION events and unused
+    for SCHEDULE ticks.
+    """
+
+    time: float
+    kind: EventKind
+    payload: int = -1
+
+    def sort_key(self, seq: int) -> tuple:
+        return (self.time, int(self.kind), seq)
+
+
+@dataclass
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    _heap: list = field(default_factory=list)
+    _counter: itertools.count = field(default_factory=itertools.count)
+
+    def push(self, event: Event) -> None:
+        """Insert ``event``."""
+        if event.time < 0 or event.time != event.time:  # negative or NaN
+            raise ValueError(f"invalid event time {event.time!r}")
+        heapq.heappush(self._heap, (*event.sort_key(next(self._counter)), event))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[-1]
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest event (inf if empty)."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,97 @@
+"""Job model.
+
+A *job* is the paper's atomic unit of execution: independent (no
+inter-job communication), neither malleable nor moldable.  A job is
+fully described by its arrival time, its computational *workload*
+(node-seconds of work), and its *security demand* ``SD`` — the minimum
+site security level under which it is guaranteed to finish.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["Job", "JobState", "JobRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """Immutable job specification as submitted by the user.
+
+    Parameters
+    ----------
+    job_id:
+        Unique non-negative identifier (index into the workload).
+    arrival:
+        Submission time in simulated seconds.
+    workload:
+        Amount of computation in node-seconds; execution time on a
+        site of aggregate speed ``v`` is ``workload / v``.
+    security_demand:
+        The job's ``SD`` value (paper: uniform in [0.6, 0.9]).
+    nodes:
+        Number of nodes the original trace job requested.  Purely
+        informational under the aggregate-speed site abstraction (the
+        workload already folds it in), retained for trace fidelity.
+    """
+
+    job_id: int
+    arrival: float
+    workload: float
+    security_demand: float
+    nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise ValueError(f"job_id must be non-negative, got {self.job_id}")
+        check_non_negative("arrival", self.arrival)
+        check_positive("workload", self.workload)
+        check_non_negative("security_demand", self.security_demand)
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job inside the simulation engine."""
+
+    PENDING = "pending"  # arrived, waiting in the scheduler queue
+    RUNNING = "running"  # dispatched, attempt in flight
+    DONE = "done"  # completed successfully
+    FAILED = "failed"  # last attempt failed; queued for secure retry
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """Mutable per-job bookkeeping accumulated by the engine.
+
+    The metrics layer consumes these records: ``first_start`` is the
+    paper's ``b_i``, ``completion`` its ``c_i``, and the ``took_risk``
+    / ``ever_failed`` flags feed ``N_risk`` / ``N_fail``.
+    """
+
+    job: Job
+    state: JobState = JobState.PENDING
+    attempts: int = 0
+    first_start: float = np.nan
+    completion: float = np.nan
+    took_risk: bool = False
+    ever_failed: bool = False
+    secure_only: bool = False
+    forced: bool = False  # engine fell back to the max-SL site
+    sites_visited: list[int] = field(default_factory=list)
+
+    @property
+    def response_time(self) -> float:
+        """``c_i - a_i`` — completion minus arrival."""
+        return self.completion - self.job.arrival
+
+    @property
+    def service_span(self) -> float:
+        """``c_i - b_i`` — completion minus first start (paper's
+        'waiting time' denominator in the slowdown ratio, Eq. 3)."""
+        return self.completion - self.first_start

@@ -1,0 +1,158 @@
+"""Pluggable failure laws (extension of the paper's Eq. 1).
+
+The paper notes its exponential failure model "is just for
+illustration only.  We can substitute the above model by any
+reasonable failure scheme."  This module takes that sentence
+seriously: a :class:`FailureLaw` maps (SD, SL) to a failure
+probability and plugs into :class:`~repro.grid.engine.GridSimulator`.
+
+Provided laws:
+
+* :class:`ExponentialFailure` — Eq. 1, the default;
+* :class:`WeibullFailure` — adds a shape parameter k: k > 1 makes
+  small security gaps nearly harmless, k < 1 makes any gap costly;
+* :class:`StepFailure` — an all-or-nothing audit model: gaps below the
+  tolerance never fail, larger gaps fail with one fixed probability;
+* :class:`LinearFailure` — probability grows linearly to a ceiling.
+
+All laws satisfy the contract: zero probability when ``SD <= SL``,
+monotone non-decreasing in the gap, values in [0, 1).  The property
+tests enforce this for every registered law.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.security import DEFAULT_LAMBDA
+from repro.util.validation import check_positive, check_probability
+
+__all__ = [
+    "FailureLaw",
+    "ExponentialFailure",
+    "WeibullFailure",
+    "StepFailure",
+    "LinearFailure",
+    "BUILTIN_LAWS",
+    "make_failure_law",
+]
+
+
+class FailureLaw(abc.ABC):
+    """Maps a (security demand, security level) pair to P(fail)."""
+
+    @abc.abstractmethod
+    def probability(self, security_demand, security_level):
+        """Failure probability; broadcasts over array inputs."""
+
+    def gap_probability(self, gap):
+        """Failure probability as a function of the SD-SL gap >= 0."""
+        gap = np.asarray(gap, dtype=float)
+        return self.probability(gap, np.zeros_like(gap))
+
+    def __call__(self, security_demand, security_level):
+        return self.probability(security_demand, security_level)
+
+
+def _gap(security_demand, security_level) -> np.ndarray:
+    sd = np.asarray(security_demand, dtype=float)
+    sl = np.asarray(security_level, dtype=float)
+    return np.maximum(sd - sl, 0.0)
+
+
+def _scalar_ok(out):
+    return float(out) if np.ndim(out) == 0 else out
+
+
+@dataclass(frozen=True)
+class ExponentialFailure(FailureLaw):
+    """Eq. 1: ``1 - exp(-lam * gap)``."""
+
+    lam: float = DEFAULT_LAMBDA
+
+    def __post_init__(self) -> None:
+        check_positive("lam", self.lam)
+
+    def probability(self, security_demand, security_level):
+        gap = _gap(security_demand, security_level)
+        return _scalar_ok(-np.expm1(-self.lam * gap))
+
+
+@dataclass(frozen=True)
+class WeibullFailure(FailureLaw):
+    """``1 - exp(-(gap/scale)^shape)``.
+
+    ``shape > 1``: hazard accelerates — small gaps are nearly safe,
+    large gaps almost surely fail.  ``shape < 1``: even tiny gaps are
+    dangerous.  ``shape = 1`` recovers the exponential law with
+    ``lam = 1/scale``.
+    """
+
+    shape: float = 2.0
+    scale: float = 0.3
+
+    def __post_init__(self) -> None:
+        check_positive("shape", self.shape)
+        check_positive("scale", self.scale)
+
+    def probability(self, security_demand, security_level):
+        gap = _gap(security_demand, security_level)
+        return _scalar_ok(-np.expm1(-((gap / self.scale) ** self.shape)))
+
+
+@dataclass(frozen=True)
+class StepFailure(FailureLaw):
+    """Zero below ``tolerance``, constant ``p_fail`` above it."""
+
+    tolerance: float = 0.1
+    p_fail: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
+        check_probability("p_fail", self.p_fail)
+        if self.p_fail >= 1.0:
+            raise ValueError("p_fail must be < 1 so retries can succeed")
+
+    def probability(self, security_demand, security_level):
+        gap = _gap(security_demand, security_level)
+        return _scalar_ok(np.where(gap > self.tolerance, self.p_fail, 0.0))
+
+
+@dataclass(frozen=True)
+class LinearFailure(FailureLaw):
+    """``min(slope * gap, ceiling)``."""
+
+    slope: float = 1.6
+    ceiling: float = 0.95
+
+    def __post_init__(self) -> None:
+        check_positive("slope", self.slope)
+        check_probability("ceiling", self.ceiling)
+        if self.ceiling >= 1.0:
+            raise ValueError("ceiling must be < 1 so retries can succeed")
+
+    def probability(self, security_demand, security_level):
+        gap = _gap(security_demand, security_level)
+        return _scalar_ok(np.minimum(self.slope * gap, self.ceiling))
+
+
+BUILTIN_LAWS = {
+    "exponential": ExponentialFailure,
+    "weibull": WeibullFailure,
+    "step": StepFailure,
+    "linear": LinearFailure,
+}
+
+
+def make_failure_law(name: str, **kwargs) -> FailureLaw:
+    """Instantiate a registered failure law by name."""
+    key = name.lower()
+    if key not in BUILTIN_LAWS:
+        raise KeyError(
+            f"unknown failure law {name!r}; choose from {sorted(BUILTIN_LAWS)}"
+        )
+    return BUILTIN_LAWS[key](**kwargs)

@@ -1,0 +1,100 @@
+"""Execution-trace recording.
+
+With ``GridSimulator(..., record_attempts=True)`` the engine logs one
+:class:`Attempt` per dispatch — (job, site, start, end, outcome) — into
+an :class:`AttemptLog`.  The log is the raw material for the
+time-series metrics (:mod:`repro.metrics.timeseries`): backlog curves,
+per-interval utilization, failure timelines; it can also be exported
+as rows for external analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Attempt", "AttemptLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class Attempt:
+    """One execution attempt of one job on one site."""
+
+    job_id: int
+    site_id: int
+    start: float
+    end: float
+    failed: bool
+    risky: bool  # SL < SD at dispatch time
+    attempt_index: int  # 1 for the first try
+
+    @property
+    def duration(self) -> float:
+        """Site occupancy of this attempt (seconds)."""
+        return self.end - self.start
+
+
+@dataclass
+class AttemptLog:
+    """Append-only log of attempts, ordered by dispatch."""
+
+    attempts: list[Attempt] = field(default_factory=list)
+
+    def record(self, attempt: Attempt) -> None:
+        """Append one attempt (engine hook)."""
+        if attempt.end < attempt.start:
+            raise ValueError(
+                f"attempt ends before it starts: {attempt}"
+            )
+        self.attempts.append(attempt)
+
+    def __len__(self) -> int:
+        return len(self.attempts)
+
+    def __iter__(self):
+        return iter(self.attempts)
+
+    # -- selections ----------------------------------------------------
+    def for_job(self, job_id: int) -> list[Attempt]:
+        """All attempts of one job, in dispatch order."""
+        return [a for a in self.attempts if a.job_id == job_id]
+
+    def for_site(self, site_id: int) -> list[Attempt]:
+        """All attempts executed on one site."""
+        return [a for a in self.attempts if a.site_id == site_id]
+
+    def failures(self) -> list[Attempt]:
+        """All failed attempts."""
+        return [a for a in self.attempts if a.failed]
+
+    # -- exports ---------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Columnar view: arrays keyed by field name."""
+        n = len(self.attempts)
+        out = {
+            "job_id": np.empty(n, dtype=np.int64),
+            "site_id": np.empty(n, dtype=np.int64),
+            "start": np.empty(n, dtype=float),
+            "end": np.empty(n, dtype=float),
+            "failed": np.empty(n, dtype=bool),
+            "risky": np.empty(n, dtype=bool),
+            "attempt_index": np.empty(n, dtype=np.int64),
+        }
+        for i, a in enumerate(self.attempts):
+            out["job_id"][i] = a.job_id
+            out["site_id"][i] = a.site_id
+            out["start"][i] = a.start
+            out["end"][i] = a.end
+            out["failed"][i] = a.failed
+            out["risky"][i] = a.risky
+            out["attempt_index"][i] = a.attempt_index
+        return out
+
+    def wasted_time(self) -> float:
+        """Total site-seconds consumed by failed attempts."""
+        return float(sum(a.duration for a in self.attempts if a.failed))
+
+    def total_busy_time(self) -> float:
+        """Total site-seconds consumed by all attempts."""
+        return float(sum(a.duration for a in self.attempts))

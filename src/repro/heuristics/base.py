@@ -1,0 +1,98 @@
+"""Scheduler interfaces.
+
+Two layers:
+
+* :class:`BatchScheduler` — the minimal engine contract: a name and a
+  pure ``schedule(Batch) -> ScheduleResult`` method.
+* :class:`SecurityDrivenScheduler` — adds the paper's risk-mode
+  machinery (secure / risky / f-risky eligibility, Figure 3) shared by
+  every heuristic and by the GA schedulers.  Jobs flagged
+  ``secure_only`` (previously failed) are always restricted to
+  absolutely safe sites regardless of the scheduler's own mode.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.grid.batch import Batch, ScheduleResult
+from repro.grid.security import (
+    DEFAULT_LAMBDA,
+    RiskMode,
+    eligibility_matrix,
+)
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["BatchScheduler", "SecurityDrivenScheduler"]
+
+
+class BatchScheduler(abc.ABC):
+    """Anything that can map a batch of jobs to grid sites."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Human-readable scheduler name used in reports."""
+
+    @abc.abstractmethod
+    def schedule(self, batch: Batch) -> ScheduleResult:
+        """Map the batch to sites.  Must not mutate ``batch``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SecurityDrivenScheduler(BatchScheduler):
+    """Base class adding risk-mode eligibility to a scheduler.
+
+    Parameters
+    ----------
+    mode:
+        ``"secure"``, ``"risky"`` or ``"f-risky"`` (or a
+        :class:`RiskMode`).
+    f:
+        Tolerated failure probability for f-risky mode (paper default
+        0.5, justified by Figure 7(a)).
+    lam:
+        Eq. 1 failure-rate constant, used to convert ``f`` into a
+        tolerable SD-SL gap.
+    """
+
+    #: short algorithm label, overridden by subclasses ("Min-Min", ...)
+    algorithm: str = "?"
+
+    def __init__(
+        self,
+        mode: RiskMode | str = RiskMode.SECURE,
+        *,
+        f: float = 0.5,
+        lam: float = DEFAULT_LAMBDA,
+    ) -> None:
+        self.mode = RiskMode.parse(mode)
+        self.f = check_probability("f", f)
+        self.lam = check_positive("lam", lam)
+
+    @property
+    def name(self) -> str:
+        if self.mode is RiskMode.F_RISKY:
+            return f"{self.algorithm} f-Risky(f={self.f:g})"
+        return f"{self.algorithm} {self.mode.value.capitalize()}"
+
+    def eligibility(self, batch: Batch) -> np.ndarray:
+        """Boolean (B, S) matrix of allowed placements for ``batch``."""
+        return eligibility_matrix(
+            batch.security_demands,
+            batch.site_security,
+            mode=self.mode,
+            f=self.f,
+            lam=self.lam,
+            secure_only=batch.secure_only,
+        )
+
+    def masked_completion(self, batch: Batch) -> np.ndarray:
+        """Expected-completion matrix with ineligible entries at +inf."""
+        comp = batch.completion()
+        comp[~self.eligibility(batch)] = np.inf
+        return comp

@@ -1,0 +1,91 @@
+"""Scheduling with inaccurate runtime estimates (paper §5 future work).
+
+The paper closes with: "investigating the performance of the STGA,
+when the job execution durations are unknown a priori is also an
+important problem".  This module implements that study's machinery:
+:class:`NoisyETCScheduler` wraps any batch scheduler and corrupts the
+ETC matrix it sees with multiplicative log-normal estimation error —
+the standard model for user runtime estimates — while the *engine*
+still executes true durations.
+
+With ``sigma = 0`` the wrapper is exact passthrough; growing ``sigma``
+degrades every ETC-driven scheduler gracefully (OLB, which ignores
+execution times, is immune — a useful control).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.batch import Batch, ScheduleResult
+from repro.heuristics.base import BatchScheduler
+from repro.util.rng import as_generator
+from repro.util.validation import check_non_negative
+
+__all__ = ["NoisyETCScheduler"]
+
+
+class NoisyETCScheduler(BatchScheduler):
+    """Feed a scheduler log-normally perturbed execution times.
+
+    Parameters
+    ----------
+    inner:
+        The scheduler whose decisions to study under estimation error.
+    sigma:
+        Standard deviation of the log-normal noise (0 = oracle ETC;
+        ~0.5 corresponds to typical user-estimate error; >1 is close
+        to uninformative).
+    per_job:
+        If True (default), one multiplicative factor per *job* —
+        mis-estimated workload, the usual case.  If False, each
+        (job, site) entry is perturbed independently (machine-level
+        estimation error).
+    rng:
+        Seed or generator for the noise.
+    """
+
+    def __init__(
+        self,
+        inner: BatchScheduler,
+        *,
+        sigma: float = 0.5,
+        per_job: bool = True,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.inner = inner
+        self.sigma = check_non_negative("sigma", sigma)
+        self.per_job = per_job
+        self.rng = as_generator(rng)
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name} +noise(sigma={self.sigma:g})"
+
+    def _perturb(self, batch: Batch) -> Batch:
+        if self.sigma == 0:
+            return batch
+        if self.per_job:
+            factors = self.rng.lognormal(
+                0.0, self.sigma, size=batch.n_jobs
+            )[:, None]
+        else:
+            factors = self.rng.lognormal(
+                0.0, self.sigma, size=batch.etc.shape
+            )
+        return Batch(
+            now=batch.now,
+            job_ids=batch.job_ids,
+            workloads=batch.workloads * factors.reshape(-1)[: batch.n_jobs]
+            if self.per_job
+            else batch.workloads,
+            security_demands=batch.security_demands,
+            secure_only=batch.secure_only,
+            etc=batch.etc * factors,
+            ready=batch.ready,
+            site_security=batch.site_security,
+            speeds=batch.speeds,
+        )
+
+    def schedule(self, batch: Batch) -> ScheduleResult:
+        return self.inner.schedule(self._perturb(batch))

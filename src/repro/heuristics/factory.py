@@ -1,0 +1,65 @@
+"""Construction helpers for the paper's scheduler line-up.
+
+``paper_heuristics()`` returns the six security-driven heuristics of
+Section 4 (Min-Min and Sufferage, each in secure / f-risky / risky
+mode) in the paper's presentation order; the STGA is appended by the
+experiment runner because it carries per-run state (the history
+table).
+"""
+
+from __future__ import annotations
+
+from repro.grid.security import DEFAULT_LAMBDA, RiskMode
+from repro.heuristics.base import BatchScheduler
+from repro.heuristics.duplex import DuplexScheduler
+from repro.heuristics.maxmin import MaxMinScheduler
+from repro.heuristics.mct import MCTScheduler
+from repro.heuristics.met import METScheduler
+from repro.heuristics.minmin import MinMinScheduler
+from repro.heuristics.olb import OLBScheduler
+from repro.heuristics.random_sched import RandomScheduler
+from repro.heuristics.sufferage import SufferageScheduler
+
+__all__ = ["HEURISTIC_CLASSES", "make_heuristic", "paper_heuristics"]
+
+HEURISTIC_CLASSES = {
+    "min-min": MinMinScheduler,
+    "max-min": MaxMinScheduler,
+    "duplex": DuplexScheduler,
+    "sufferage": SufferageScheduler,
+    "mct": MCTScheduler,
+    "met": METScheduler,
+    "olb": OLBScheduler,
+    "random": RandomScheduler,
+}
+
+
+def make_heuristic(
+    algorithm: str,
+    mode: RiskMode | str = RiskMode.SECURE,
+    *,
+    f: float = 0.5,
+    lam: float = DEFAULT_LAMBDA,
+    **kwargs,
+) -> BatchScheduler:
+    """Instantiate a heuristic by name, e.g. ``make_heuristic("min-min",
+    "risky")``."""
+    key = algorithm.lower()
+    if key not in HEURISTIC_CLASSES:
+        raise KeyError(
+            f"unknown heuristic {algorithm!r}; "
+            f"choose from {sorted(HEURISTIC_CLASSES)}"
+        )
+    return HEURISTIC_CLASSES[key](mode, f=f, lam=lam, **kwargs)
+
+
+def paper_heuristics(
+    *, f: float = 0.5, lam: float = DEFAULT_LAMBDA
+) -> list[BatchScheduler]:
+    """The six heuristics of the paper's Figures 8-9, in order:
+    Min-Min {secure, f-risky, risky}, Sufferage {secure, f-risky, risky}."""
+    out: list[BatchScheduler] = []
+    for cls in (MinMinScheduler, SufferageScheduler):
+        for mode in (RiskMode.SECURE, RiskMode.F_RISKY, RiskMode.RISKY):
+            out.append(cls(mode, f=f, lam=lam))
+    return out

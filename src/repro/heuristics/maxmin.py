@@ -1,0 +1,26 @@
+"""Security-driven Max-Min heuristic (Braun et al. baseline, extension).
+
+Identical machinery to Min-Min except that each round commits the job
+whose *earliest* completion time is *largest* — placing long jobs
+first so short ones fill in around them.  Not part of the paper's
+seven evaluated algorithms; included as an additional comparator for
+the ablation benches.
+"""
+
+from __future__ import annotations
+
+from repro.grid.batch import Batch, ScheduleResult
+from repro.heuristics.base import SecurityDrivenScheduler
+from repro.heuristics.minmin import _greedy_by_completion
+
+__all__ = ["MaxMinScheduler"]
+
+
+class MaxMinScheduler(SecurityDrivenScheduler):
+    """Max-Min under a secure / risky / f-risky mode."""
+
+    algorithm = "Max-Min"
+
+    def schedule(self, batch: Batch) -> ScheduleResult:
+        comp = self.masked_completion(batch)
+        return _greedy_by_completion(batch, comp, pick="max")

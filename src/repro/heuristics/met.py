@@ -1,0 +1,30 @@
+"""Minimum Execution Time (MET) heuristic (Braun et al. baseline).
+
+Each job goes to the eligible site with the smallest raw execution
+time, ignoring load entirely.  On a grid whose fastest site dominates,
+MET piles everything there — it is the canonical "bad but fast"
+baseline and a useful lower anchor in the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.batch import Batch, ScheduleResult
+from repro.heuristics.base import SecurityDrivenScheduler
+
+__all__ = ["METScheduler"]
+
+
+class METScheduler(SecurityDrivenScheduler):
+    """MET under a secure / risky / f-risky mode."""
+
+    algorithm = "MET"
+
+    def schedule(self, batch: Batch) -> ScheduleResult:
+        elig = self.eligibility(batch)
+        etc = np.where(elig, batch.etc, np.inf)
+        assignment = np.full(batch.n_jobs, -1, dtype=int)
+        feasible = np.isfinite(etc).any(axis=1)
+        assignment[feasible] = np.argmin(etc[feasible], axis=1)
+        return ScheduleResult.from_assignment(assignment)

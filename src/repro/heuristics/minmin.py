@@ -1,0 +1,69 @@
+"""The security-driven Min-Min heuristic (paper Section 2, item 1).
+
+Classic Min-Min (Maheswaran et al.; Braun et al.): repeatedly
+
+1. for every unscheduled job, find the site giving its earliest
+   expected completion time (over *eligible* sites only),
+2. pick the job whose earliest completion is smallest overall,
+3. commit it to that site and advance the site's ready time.
+
+Jobs with no eligible site under the active risk mode are deferred
+(assignment ``-1``) for a later batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.batch import Batch, ScheduleResult
+from repro.heuristics.base import SecurityDrivenScheduler
+
+__all__ = ["MinMinScheduler"]
+
+
+class MinMinScheduler(SecurityDrivenScheduler):
+    """Min-Min under a secure / risky / f-risky mode."""
+
+    algorithm = "Min-Min"
+
+    def schedule(self, batch: Batch) -> ScheduleResult:
+        comp = self.masked_completion(batch)
+        return _greedy_by_completion(batch, comp, pick="min")
+
+
+def _greedy_by_completion(
+    batch: Batch, comp: np.ndarray, *, pick: str
+) -> ScheduleResult:
+    """Shared Min-Min / Max-Min core.
+
+    ``comp`` is the masked completion matrix; ``pick`` selects whether
+    the job with the smallest ("min", Min-Min) or largest ("max",
+    Max-Min) earliest completion is committed each round.
+    """
+    n_jobs = batch.n_jobs
+    comp = comp.copy()
+    etc = batch.etc
+    ready = np.maximum(batch.ready, batch.now).astype(float).copy()
+    assignment = np.full(n_jobs, -1, dtype=int)
+    order: list[int] = []
+    left = np.ones(n_jobs, dtype=bool)
+    # Jobs with no eligible site are deferred outright.
+    feasible = np.isfinite(comp).any(axis=1)
+    left &= feasible
+
+    while left.any():
+        best_site = np.argmin(comp, axis=1)
+        best_val = comp[np.arange(n_jobs), best_site]
+        candidates = np.where(left, best_val, np.inf if pick == "min" else -np.inf)
+        j = int(np.argmin(candidates) if pick == "min" else np.argmax(candidates))
+        s = int(best_site[j])
+        assignment[j] = s
+        order.append(j)
+        left[j] = False
+        ready[s] = best_val[j]
+        # Only the chosen site's column changes.
+        col = ready[s] + etc[:, s]
+        col[np.isinf(comp[:, s])] = np.inf
+        comp[:, s] = col
+
+    return ScheduleResult(assignment=assignment, order=np.array(order, dtype=int))

@@ -1,0 +1,43 @@
+"""Uniform-random mapper.
+
+Assigns every job to an eligible site drawn uniformly at random.  Used
+as the sanity-check lower bound in tests and benches (any sensible
+heuristic must beat it) and to generate diverse seed chromosomes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.batch import Batch, ScheduleResult
+from repro.grid.security import DEFAULT_LAMBDA, RiskMode
+from repro.heuristics.base import SecurityDrivenScheduler
+from repro.util.rng import as_generator
+
+__all__ = ["RandomScheduler"]
+
+
+class RandomScheduler(SecurityDrivenScheduler):
+    """Random eligible-site assignment under any risk mode."""
+
+    algorithm = "Random"
+
+    def __init__(
+        self,
+        mode: RiskMode | str = RiskMode.RISKY,
+        *,
+        f: float = 0.5,
+        lam: float = DEFAULT_LAMBDA,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        super().__init__(mode, f=f, lam=lam)
+        self.rng = as_generator(rng)
+
+    def schedule(self, batch: Batch) -> ScheduleResult:
+        elig = self.eligibility(batch)
+        assignment = np.full(batch.n_jobs, -1, dtype=int)
+        for j in range(batch.n_jobs):
+            sites = np.flatnonzero(elig[j])
+            if sites.size:
+                assignment[j] = int(self.rng.choice(sites))
+        return ScheduleResult.from_assignment(assignment)

@@ -1,0 +1,67 @@
+"""The security-driven Sufferage heuristic (paper Section 2, item 2).
+
+Sufferage (Maheswaran et al.) commits, each round, the job that would
+"suffer" most if denied its best site: its *sufferage value* is the
+difference between its second-earliest and earliest expected
+completion times.  A job with exactly one eligible site suffers
+unboundedly (it has no second choice), so it gets priority — we give
+it an infinite sufferage value, with the completion time as a
+deterministic tie-breaker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.batch import Batch, ScheduleResult
+from repro.heuristics.base import SecurityDrivenScheduler
+
+__all__ = ["SufferageScheduler"]
+
+
+class SufferageScheduler(SecurityDrivenScheduler):
+    """Sufferage under a secure / risky / f-risky mode."""
+
+    algorithm = "Sufferage"
+
+    def schedule(self, batch: Batch) -> ScheduleResult:
+        n_jobs = batch.n_jobs
+        comp = self.masked_completion(batch)
+        etc = batch.etc
+        ready = np.maximum(batch.ready, batch.now).astype(float).copy()
+        assignment = np.full(n_jobs, -1, dtype=int)
+        order: list[int] = []
+        left = np.isfinite(comp).any(axis=1)
+
+        while left.any():
+            best_site = np.argmin(comp, axis=1)
+            best_val = comp[np.arange(n_jobs), best_site]
+            # Second-best completion: mask out each job's best column.
+            masked = comp.copy()
+            masked[np.arange(n_jobs), best_site] = np.inf
+            second_val = masked.min(axis=1)
+            # inf when only one eligible site; infeasible rows (both
+            # values inf) would give NaN, mask them to -inf instead.
+            with np.errstate(invalid="ignore"):
+                sufferage = np.where(
+                    np.isfinite(best_val), second_val - best_val, -np.inf
+                )
+
+            # Choose the unassigned job with the largest sufferage;
+            # break ties by earliest best completion, then job index.
+            sv = np.where(left, sufferage, -np.inf)
+            top = sv.max()
+            tied = np.flatnonzero(sv == top)
+            j = int(tied[np.argmin(best_val[tied])])
+            s = int(best_site[j])
+            assignment[j] = s
+            order.append(j)
+            left[j] = False
+            ready[s] = best_val[j]
+            col = ready[s] + etc[:, s]
+            col[np.isinf(comp[:, s])] = np.inf
+            comp[:, s] = col
+
+        return ScheduleResult(
+            assignment=assignment, order=np.array(order, dtype=int)
+        )

@@ -1,0 +1,28 @@
+"""Performance metrics (Section 4.1) and Table 2 comparison machinery."""
+
+from repro.metrics.compare import (
+    ComparisonRow,
+    compare_to_reference,
+    render_comparison,
+)
+from repro.metrics.report import PerformanceReport, evaluate
+from repro.metrics.timeseries import (
+    backlog_series,
+    failure_timeline,
+    running_series,
+    utilization_series,
+    waste_fraction,
+)
+
+__all__ = [
+    "PerformanceReport",
+    "evaluate",
+    "ComparisonRow",
+    "compare_to_reference",
+    "render_comparison",
+    "backlog_series",
+    "running_series",
+    "utilization_series",
+    "failure_timeline",
+    "waste_fraction",
+]

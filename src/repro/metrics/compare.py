@@ -1,0 +1,94 @@
+"""Cross-scheduler comparison (paper Table 2).
+
+The paper summarises the NAS results with two ratios per heuristic,
+both relative to the STGA:
+
+* ``alpha`` — makespan ratio (heuristic / STGA);
+* ``beta``  — average-response-time ratio (heuristic / STGA);
+
+and a holistic ranking (STGA 1st, risky 2nd, f-risky 3rd, secure 4th).
+We rank by ``alpha + beta`` with a small tolerance so that the
+Min-Min/Sufferage twins of one mode share a rank, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.report import PerformanceReport
+from repro.util.tables import render_table
+
+__all__ = ["ComparisonRow", "compare_to_reference", "render_comparison"]
+
+#: two schedulers whose alpha+beta scores differ by less than this are
+#: considered tied (the paper groups Min-Min/Sufferage per mode).
+_TIE_TOL = 0.05
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One Table 2 row."""
+
+    scheduler: str
+    alpha: float  # makespan ratio vs reference
+    beta: float  # response-time ratio vs reference
+    rank: int
+
+    @property
+    def rank_label(self) -> str:
+        """Ordinal label: 1 -> '1st', 2 -> '2nd', ..."""
+        suffix = {1: "st", 2: "nd", 3: "rd"}.get(
+            self.rank if self.rank < 20 else self.rank % 10, "th"
+        )
+        return f"{self.rank}{suffix}"
+
+
+def compare_to_reference(
+    reports: list[PerformanceReport], reference: str = "STGA"
+) -> list[ComparisonRow]:
+    """Build Table 2 rows from per-scheduler reports.
+
+    ``reference`` names the baseline scheduler (alpha = beta = 1).
+    Rows come back in the input order; ranks are dense with ties
+    within ``_TIE_TOL`` of each other sharing a rank.
+    """
+    by_name = {r.scheduler: r for r in reports}
+    if reference not in by_name:
+        raise KeyError(
+            f"reference scheduler {reference!r} not among "
+            f"{sorted(by_name)}"
+        )
+    ref = by_name[reference]
+    if ref.makespan <= 0 or ref.avg_response_time <= 0:
+        raise ValueError("reference metrics must be positive")
+
+    scored = []
+    for rep in reports:
+        alpha = rep.makespan / ref.makespan
+        beta = rep.avg_response_time / ref.avg_response_time
+        scored.append((rep.scheduler, alpha, beta, alpha + beta))
+
+    # Dense ranking with tolerance-based tying on the combined score.
+    order = sorted(scored, key=lambda t: t[3])
+    ranks: dict[str, int] = {}
+    rank = 0
+    prev_score = None
+    for name_, _, _, score in order:
+        if prev_score is None or score > prev_score + _TIE_TOL:
+            rank += 1
+            prev_score = score
+        ranks[name_] = rank
+
+    return [
+        ComparisonRow(scheduler=n, alpha=a, beta=b, rank=ranks[n])
+        for n, a, b, _ in scored
+    ]
+
+
+def render_comparison(rows: list[ComparisonRow], *, title: str = "") -> str:
+    """ASCII rendering in the paper's Table 2 layout."""
+    return render_table(
+        ["Heuristics", "alpha", "beta", "Ranking"],
+        [[r.scheduler, r.alpha, r.beta, r.rank_label] for r in rows],
+        title=title or "Performance comparison (alpha/beta vs STGA)",
+    )

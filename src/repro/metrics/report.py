@@ -1,0 +1,128 @@
+"""Performance metrics (paper Section 4.1).
+
+Given a finished :class:`~repro.grid.engine.SimulationResult`,
+:func:`evaluate` computes every metric the paper reports:
+
+* **makespan** — ``max_i c_i``;
+* **average response time** — ``mean(c_i - a_i)``;
+* **average service span** — ``mean(c_i - b_i)`` (the paper calls this
+  the "average waiting time"; ``b_i`` is the job's first start);
+* **slowdown ratio** (Eq. 3) — response / service-span ratio, the
+  average contention a job experiences;
+* **N_risk** — jobs that ever ran on a site with ``SL < SD``;
+* **N_fail** — jobs that failed (and were rescheduled) at least once;
+* **site utilization** — per-site busy time over the makespan, in %.
+
+We additionally record the failure *rate* among risk-takers, the
+number of engine-forced placements, and the scheduler's wall-clock
+decision time (the STGA's selling point is being fast enough for
+online use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.engine import SimulationResult
+
+__all__ = ["PerformanceReport", "evaluate"]
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """All Section 4.1 metrics for one simulation run."""
+
+    scheduler: str
+    n_jobs: int
+    makespan: float
+    avg_response_time: float
+    avg_service_span: float
+    slowdown_ratio: float
+    n_risk: int
+    n_fail: int
+    n_forced: int
+    total_attempts: int
+    site_utilization: np.ndarray  # (S,) percentages
+    scheduler_seconds: float
+    n_batches: int
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of risk-taking jobs that actually failed."""
+        return self.n_fail / self.n_risk if self.n_risk else 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        """Grid-wide mean site utilization (%)."""
+        return float(self.site_utilization.mean())
+
+    @property
+    def idle_sites(self) -> int:
+        """Sites that never ran a job (< 0.1 % busy)."""
+        return int((self.site_utilization < 0.1).sum())
+
+    def row(self) -> list:
+        """Row for the harness tables."""
+        return [
+            self.scheduler,
+            self.makespan,
+            self.avg_response_time,
+            self.slowdown_ratio,
+            self.n_risk,
+            self.n_fail,
+            self.mean_utilization,
+        ]
+
+    #: headers matching :meth:`row`
+    ROW_HEADERS = (
+        "scheduler",
+        "makespan",
+        "avg_response",
+        "slowdown",
+        "N_risk",
+        "N_fail",
+        "util_%",
+    )
+
+
+def evaluate(result: SimulationResult, scheduler_name: str | None = None):
+    """Compute a :class:`PerformanceReport` from a simulation result."""
+    records = result.records
+    if not records:
+        raise ValueError("simulation result has no job records")
+    completions = result.completions()
+    arrivals = result.arrivals()
+    starts = result.first_starts()
+    if np.isnan(completions).any():
+        raise ValueError("some jobs never completed; cannot evaluate")
+
+    response = completions - arrivals
+    service = completions - starts
+    if (response < -1e-9).any():
+        raise ValueError("negative response time — corrupt simulation result")
+    mean_service = float(service.mean())
+    slowdown = float(response.mean() / mean_service) if mean_service > 0 else 1.0
+
+    name = scheduler_name
+    if name is None:
+        name = getattr(result, "scheduler_name", "") or getattr(
+            getattr(result, "scheduler", None), "name", "?"
+        )
+
+    return PerformanceReport(
+        scheduler=name,
+        n_jobs=len(records),
+        makespan=result.makespan,
+        avg_response_time=float(response.mean()),
+        avg_service_span=mean_service,
+        slowdown_ratio=slowdown,
+        n_risk=sum(r.took_risk for r in records),
+        n_fail=sum(r.ever_failed for r in records),
+        n_forced=result.n_forced,
+        total_attempts=sum(r.attempts for r in records),
+        site_utilization=result.busy_time / result.makespan * 100.0,
+        scheduler_seconds=result.scheduler_seconds,
+        n_batches=result.n_batches,
+    )

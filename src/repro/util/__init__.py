@@ -1,0 +1,43 @@
+"""Shared utilities: deterministic RNG streams, validation, statistics,
+table rendering and timing."""
+
+from repro.util.rng import RngFactory, as_generator, spawn
+from repro.util.stats import (
+    Summary,
+    improvement_pct,
+    is_concave_around,
+    ratio,
+    summarize,
+)
+from repro.util.tables import format_number, render_table
+from repro.util.timing import Stopwatch
+from repro.util.validation import (
+    check_1d,
+    check_2d,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn",
+    "Summary",
+    "summarize",
+    "ratio",
+    "improvement_pct",
+    "is_concave_around",
+    "render_table",
+    "format_number",
+    "Stopwatch",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_1d",
+    "check_2d",
+    "check_same_length",
+]

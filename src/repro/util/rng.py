@@ -1,0 +1,81 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (workload generators, the
+failure model, GA operators, ...) draws from its own independently
+seeded :class:`numpy.random.Generator`.  Streams are derived from a
+single root seed through :class:`numpy.random.SeedSequence` spawning,
+so that
+
+* two runs with the same root seed are bit-identical, and
+* changing the number of draws made by one component never perturbs
+  the stream seen by another (no hidden coupling through a shared
+  global state).
+
+This module is the only place in the library that constructs
+generators; everything else receives a ``Generator`` (or a
+:class:`RngFactory`) explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RngFactory", "as_generator", "spawn"]
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer
+    seed, or ``None`` (fresh OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators."""
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of streams: {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+@dataclass
+class RngFactory:
+    """Named, reproducible random streams derived from one root seed.
+
+    ``factory.stream("failures")`` always returns the same generator
+    state for the same root seed, independent of the order in which
+    other streams were requested.
+
+    Examples
+    --------
+    >>> f = RngFactory(seed=42)
+    >>> a = f.stream("arrivals").random()
+    >>> g = RngFactory(seed=42)
+    >>> b = g.stream("arrivals").random()
+    >>> a == b
+    True
+    """
+
+    seed: int = 0
+    _cache: dict[str, np.random.Generator] = field(default_factory=dict, repr=False)
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the (cached) generator for stream ``name``."""
+        if name not in self._cache:
+            # Hash the name into the seed sequence so stream identity
+            # depends only on (root seed, name).
+            digest = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
+            entropy = [self.seed, *digest.tolist()]
+            self._cache[name] = np.random.default_rng(np.random.SeedSequence(entropy))
+        return self._cache[name]
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a *new* generator for ``name`` (reset to stream start)."""
+        self._cache.pop(name, None)
+        return self.stream(name)

@@ -1,0 +1,42 @@
+"""Workload generators: the PSA parameter-sweep stream and the
+synthetic NAS iPSC/860 trace, plus the arrival processes and
+security-attribute samplers they share."""
+
+from repro.workloads.analysis import (
+    WorkloadProfile,
+    hourly_histogram,
+    profile_scenario,
+)
+from repro.workloads.arrivals import (
+    cyclic_arrivals,
+    hourly_rate_profile,
+    poisson_arrivals,
+)
+from repro.workloads.base import Scenario
+from repro.workloads.nas import NASConfig, nas_grid, nas_scenario
+from repro.workloads.psa import PSAConfig, psa_scenario
+from repro.workloads.security import (
+    SD_RANGE,
+    SL_RANGE,
+    sample_security_demands,
+    sample_security_levels,
+)
+
+__all__ = [
+    "Scenario",
+    "WorkloadProfile",
+    "profile_scenario",
+    "hourly_histogram",
+    "poisson_arrivals",
+    "cyclic_arrivals",
+    "hourly_rate_profile",
+    "NASConfig",
+    "nas_scenario",
+    "nas_grid",
+    "PSAConfig",
+    "psa_scenario",
+    "SD_RANGE",
+    "SL_RANGE",
+    "sample_security_demands",
+    "sample_security_levels",
+]

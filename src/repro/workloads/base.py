@@ -1,0 +1,87 @@
+"""Workload containers.
+
+A :class:`Scenario` bundles what one simulation run needs: the grid
+(sites with speeds and security levels) and the job stream.  Workload
+generators return scenarios so that the site side (e.g. NAS's
+4x16-node + 8x8-node layout) and the job side stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.grid.job import Job
+from repro.grid.site import Grid
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named (grid, jobs) pair ready to simulate."""
+
+    name: str
+    grid: Grid
+    jobs: tuple[Job, ...]
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a scenario needs at least one job")
+        arr = [j.arrival for j in self.jobs]
+        if any(b < a for a, b in zip(arr, arr[1:])):
+            raise ValueError("jobs must be sorted by arrival time")
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs in the stream."""
+        return len(self.jobs)
+
+    @property
+    def span(self) -> float:
+        """Time between first and last arrival (seconds)."""
+        return self.jobs[-1].arrival - self.jobs[0].arrival
+
+    @property
+    def total_work(self) -> float:
+        """Sum of job workloads (node-seconds)."""
+        return float(sum(j.workload for j in self.jobs))
+
+    def arrivals(self) -> np.ndarray:
+        """Arrival-time vector, shape (N,)."""
+        return np.array([j.arrival for j in self.jobs], dtype=float)
+
+    def workloads(self) -> np.ndarray:
+        """Workload vector, shape (N,)."""
+        return np.array([j.workload for j in self.jobs], dtype=float)
+
+    def security_demands(self) -> np.ndarray:
+        """SD vector, shape (N,)."""
+        return np.array([j.security_demand for j in self.jobs], dtype=float)
+
+    def head(self, n: int) -> "Scenario":
+        """First ``n`` jobs (same grid) — used to carve training sets."""
+        if not (1 <= n <= self.n_jobs):
+            raise ValueError(f"n must be in [1, {self.n_jobs}], got {n}")
+        return replace(
+            self, name=f"{self.name}[:{n}]", jobs=tuple(self.jobs[:n])
+        )
+
+    def tail(self, n: int) -> "Scenario":
+        """Last ``n`` jobs with arrivals shifted to start near zero."""
+        if not (1 <= n <= self.n_jobs):
+            raise ValueError(f"n must be in [1, {self.n_jobs}], got {n}")
+        picked = self.jobs[-n:]
+        offset = picked[0].arrival
+        shifted = tuple(
+            Job(
+                job_id=j.job_id,
+                arrival=j.arrival - offset,
+                workload=j.workload,
+                security_demand=j.security_demand,
+                nodes=j.nodes,
+            )
+            for j in picked
+        )
+        return replace(self, name=f"{self.name}[-{n}:]", jobs=shifted)

@@ -1,0 +1,68 @@
+"""Security-attribute sampling (Table 1).
+
+Site security levels ``SL ~ U(0.4, 1.0)`` and job security demands
+``SD ~ U(0.6, 0.9)``.  With finitely many sites it is possible that no
+site satisfies the largest demands, in which case *secure* mode (and
+the secure-resubmission rule for failed jobs) could never place some
+jobs; the paper implicitly assumes at least one safe site exists.
+``sample_security_levels(..., ensure_cover=0.9)`` enforces that by
+lifting the most secure site into ``[ensure_cover, hi]`` when needed —
+a measure-zero distortion for realistic site counts, documented in
+DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_in_range
+
+__all__ = [
+    "SD_RANGE",
+    "SL_RANGE",
+    "sample_security_demands",
+    "sample_security_levels",
+]
+
+#: Table 1 defaults.
+SD_RANGE = (0.6, 0.9)
+SL_RANGE = (0.4, 1.0)
+
+
+def sample_security_demands(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    lo: float = SD_RANGE[0],
+    hi: float = SD_RANGE[1],
+) -> np.ndarray:
+    """Uniform job security demands, shape (n,)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    check_in_range("lo", lo, 0.0, hi)
+    return rng.uniform(lo, hi, size=n)
+
+
+def sample_security_levels(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    lo: float = SL_RANGE[0],
+    hi: float = SL_RANGE[1],
+    ensure_cover: float | None = SD_RANGE[1],
+) -> np.ndarray:
+    """Uniform site security levels, shape (n,).
+
+    ``ensure_cover`` (default: the maximum SD, 0.9) guarantees
+    ``max(SL) >= ensure_cover`` so every job has at least one
+    absolutely safe site; pass ``None`` for the raw distribution.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    check_in_range("lo", lo, 0.0, hi)
+    sls = rng.uniform(lo, hi, size=n)
+    if ensure_cover is not None:
+        check_in_range("ensure_cover", ensure_cover, lo, hi)
+        if sls.max() < ensure_cover:
+            sls[int(np.argmax(sls))] = rng.uniform(ensure_cover, hi)
+    return sls

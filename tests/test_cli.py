@@ -1,0 +1,40 @@
+"""Tests for the repro-grid CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig8", "--scale", "0.01"])
+        assert args.experiment == "fig8"
+        assert args.scale == 0.01
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.seed == 2005
+        assert args.lam == 3.0
+
+
+class TestMain:
+    def test_invalid_scale_exit_code(self, capsys):
+        assert main(["fig8", "--scale", "2.0"]) == 2
+        assert "scale" in capsys.readouterr().err
+
+    def test_fig7a_runs(self, capsys):
+        # minimum scale floor inside scale_jobs keeps this tractable
+        assert main(["fig7a", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7(a)" in out
+        assert "best f" in out
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2 (measured)" in out

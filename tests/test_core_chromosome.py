@@ -1,0 +1,109 @@
+"""Tests for repro.core.chromosome."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chromosome import (
+    EligibleSites,
+    random_population,
+    repair_population,
+)
+
+
+def full_mask(b, s):
+    return np.ones((b, s), dtype=bool)
+
+
+class TestEligibleSites:
+    def test_from_mask_counts(self):
+        mask = np.array([[True, False, True], [False, True, False]])
+        es = EligibleSites.from_mask(mask)
+        np.testing.assert_array_equal(es.counts, [2, 1])
+        assert es.n_jobs == 2
+        np.testing.assert_array_equal(sorted(es.lookup[0][:2]), [0, 2])
+
+    def test_infeasible_job_rejected(self):
+        mask = np.array([[True], [False]])
+        with pytest.raises(ValueError, match="no eligible site"):
+            EligibleSites.from_mask(mask)
+
+    def test_1d_mask_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            EligibleSites.from_mask(np.array([True, False]))
+
+    def test_sample_within_eligible(self, rng):
+        mask = np.array([[True, False, True], [False, True, False]])
+        es = EligibleSites.from_mask(mask)
+        out = es.sample(rng, (100, 2))
+        assert set(np.unique(out[:, 0])) <= {0, 2}
+        assert set(np.unique(out[:, 1])) == {1}
+
+    def test_sample_uniform(self, rng):
+        mask = full_mask(1, 4)
+        es = EligibleSites.from_mask(mask)
+        out = es.sample(rng, (8000, 1))
+        counts = np.bincount(out.ravel(), minlength=4)
+        assert (counts > 1700).all()  # roughly uniform
+
+    def test_sample_shape_validated(self, rng):
+        es = EligibleSites.from_mask(full_mask(3, 2))
+        with pytest.raises(ValueError, match="trailing axis"):
+            es.sample(rng, (10, 4))
+
+    def test_allowed(self):
+        mask = np.array([[True, False], [False, True]])
+        es = EligibleSites.from_mask(mask)
+        pop = np.array([[0, 1], [1, 1], [0, 0]])
+        np.testing.assert_array_equal(
+            es.allowed(pop),
+            [[True, True], [False, True], [True, False]],
+        )
+
+
+class TestRandomPopulation:
+    def test_shape(self, rng):
+        es = EligibleSites.from_mask(full_mask(5, 3))
+        pop = random_population(es, 20, rng)
+        assert pop.shape == (20, 5)
+        assert ((pop >= 0) & (pop < 3)).all()
+
+    def test_size_validated(self, rng):
+        es = EligibleSites.from_mask(full_mask(2, 2))
+        with pytest.raises(ValueError):
+            random_population(es, 0, rng)
+
+    @given(b=st.integers(1, 10), s=st.integers(1, 6), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_always_eligible_property(self, b, s, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((b, s)) < 0.5
+        mask[np.arange(b), rng.integers(0, s, size=b)] = True  # feasible
+        es = EligibleSites.from_mask(mask)
+        pop = random_population(es, 30, rng)
+        assert es.allowed(pop).all()
+
+
+class TestRepair:
+    def test_bad_genes_resampled(self, rng):
+        mask = np.array([[True, False], [False, True]])
+        es = EligibleSites.from_mask(mask)
+        pop = np.array([[1, 0], [1, 0]])  # every gene violates
+        fixed = repair_population(pop, es, rng)
+        assert es.allowed(fixed).all()
+        np.testing.assert_array_equal(fixed, [[0, 1], [0, 1]])
+
+    def test_good_genes_untouched(self, rng):
+        mask = full_mask(3, 4)
+        es = EligibleSites.from_mask(mask)
+        pop = np.array([[0, 1, 2], [3, 2, 1]])
+        fixed = repair_population(pop, es, rng)
+        np.testing.assert_array_equal(fixed, pop)
+
+    def test_input_not_mutated(self, rng):
+        mask = np.array([[True, False]])
+        es = EligibleSites.from_mask(mask)
+        pop = np.array([[1]])
+        repair_population(pop, es, rng)
+        assert pop[0, 0] == 1

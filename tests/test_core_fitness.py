@@ -1,0 +1,107 @@
+"""Tests for repro.core.fitness — the vectorised makespan kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitness import (
+    assignment_makespan,
+    expected_etc,
+    population_makespan,
+)
+from repro.grid.security import failure_probability
+
+
+def reference_makespan(assignment, etc, ready):
+    """Slow but obviously correct makespan for cross-checking."""
+    s = etc.shape[1]
+    comp = []
+    for site in range(s):
+        jobs = np.flatnonzero(assignment == site)
+        if jobs.size:
+            comp.append(ready[site] + etc[jobs, site].sum())
+    return max(comp)
+
+
+class TestPopulationMakespan:
+    def test_hand_worked(self):
+        etc = np.array([[2.0, 4.0], [6.0, 3.0]])
+        ready = np.array([1.0, 0.0])
+        pop = np.array([[0, 1], [0, 0], [1, 1]])
+        out = population_makespan(pop, etc, ready)
+        np.testing.assert_allclose(out, [3.0, 9.0, 7.0])
+
+    def test_empty_site_ignored(self):
+        # Site 1 has huge ready time but receives no jobs.
+        etc = np.array([[1.0, 1.0]])
+        ready = np.array([0.0, 500.0])
+        out = population_makespan(np.array([[0]]), etc, ready)
+        assert out[0] == 1.0
+
+    def test_out_of_range_rejected(self):
+        etc = np.ones((2, 2))
+        with pytest.raises(ValueError, match="outside"):
+            population_makespan(np.array([[0, 2]]), etc, np.zeros(2))
+        with pytest.raises(ValueError, match="outside"):
+            population_makespan(np.array([[-1, 0]]), etc, np.zeros(2))
+
+    def test_shape_mismatches_rejected(self):
+        with pytest.raises(ValueError):
+            population_makespan(np.array([0, 1]), np.ones((2, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            population_makespan(
+                np.array([[0]]), np.ones((2, 2)), np.zeros(2)
+            )
+        with pytest.raises(ValueError):
+            population_makespan(
+                np.array([[0, 0]]), np.ones((2, 2)), np.zeros(3)
+            )
+
+    @given(
+        p=st.integers(1, 20),
+        b=st.integers(1, 15),
+        s=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_property(self, p, b, s, seed):
+        rng = np.random.default_rng(seed)
+        etc = rng.uniform(0.5, 50, size=(b, s))
+        ready = rng.uniform(0, 100, size=s)
+        pop = rng.integers(0, s, size=(p, b))
+        fast = population_makespan(pop, etc, ready)
+        slow = [reference_makespan(pop[i], etc, ready) for i in range(p)]
+        np.testing.assert_allclose(fast, slow)
+
+    def test_assignment_makespan_wrapper(self):
+        etc = np.array([[2.0, 4.0]])
+        assert assignment_makespan([1], etc, np.zeros(2)) == 4.0
+
+
+class TestExpectedEtc:
+    def test_safe_unchanged(self):
+        etc = np.array([[10.0]])
+        out = expected_etc(etc, [0.5], [0.9], penalty=1.0)
+        np.testing.assert_allclose(out, etc)
+
+    def test_risky_inflated_by_pfail(self):
+        etc = np.array([[10.0]])
+        p = failure_probability(0.9, 0.4, lam=3.0)
+        out = expected_etc(etc, [0.9], [0.4], lam=3.0, penalty=1.0)
+        assert out[0, 0] == pytest.approx(10.0 * (1 + p))
+
+    def test_penalty_scales(self):
+        etc = np.array([[10.0]])
+        one = expected_etc(etc, [0.9], [0.4], penalty=1.0)
+        two = expected_etc(etc, [0.9], [0.4], penalty=2.0)
+        assert (two[0, 0] - 10.0) == pytest.approx(2 * (one[0, 0] - 10.0))
+
+    def test_zero_penalty_identity(self):
+        etc = np.random.default_rng(0).uniform(1, 5, size=(3, 4))
+        out = expected_etc(etc, [0.9] * 3, [0.4] * 4, penalty=0.0)
+        np.testing.assert_allclose(out, etc)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            expected_etc(np.ones((1, 1)), [0.9], [0.4], penalty=-1.0)

@@ -1,0 +1,96 @@
+"""Tests for the flow-weighted fitness (population_fitness)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitness import population_fitness, population_makespan
+from repro.core.ga import GAConfig
+
+
+class TestPopulationFitness:
+    def test_zero_weight_equals_makespan(self, rng):
+        etc = rng.uniform(1, 20, size=(6, 3))
+        ready = rng.uniform(0, 10, size=3)
+        pop = rng.integers(0, 3, size=(15, 6))
+        np.testing.assert_allclose(
+            population_fitness(pop, etc, ready, flow_weight=0.0),
+            population_makespan(pop, etc, ready),
+        )
+
+    def test_flow_term_hand_worked(self):
+        etc = np.array([[2.0, 4.0], [6.0, 3.0]])
+        ready = np.array([1.0, 0.0])
+        pop = np.array([[0, 1]])  # makespan = max(1+2, 0+3) = 3
+        # per-job completions: job0 -> 1+2=3, job1 -> 0+3=3; mean = 3
+        out = population_fitness(pop, etc, ready, flow_weight=2.0)
+        assert out[0] == pytest.approx(3.0 + 2.0 * 3.0)
+
+    def test_flow_discourages_backlogged_sites(self):
+        # Two sites, site 1 heavily backlogged.  Both assignments have
+        # the same makespan (the backlog dominates), but the flow term
+        # separates them.
+        etc = np.array([[10.0, 10.0]])
+        ready = np.array([0.0, 100.0])
+        both = np.array([[0], [1]])
+        pure = population_fitness(both, etc, ready, flow_weight=0.0)
+        assert pure[0] < pure[1]  # job on empty site finishes sooner
+        flw = population_fitness(both, etc, ready, flow_weight=1.0)
+        assert flw[1] - flw[0] > pure[1] - pure[0]  # gap widens
+
+    def test_negative_weight_rejected(self, rng):
+        with pytest.raises(ValueError):
+            population_fitness(
+                np.zeros((1, 1), dtype=int),
+                np.ones((1, 1)),
+                np.zeros(1),
+                flow_weight=-0.5,
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            population_fitness(
+                np.zeros((2, 3), dtype=int), np.ones((2, 2)), np.zeros(2)
+            )
+
+    @given(
+        p=st.integers(1, 10),
+        b=st.integers(1, 8),
+        s=st.integers(1, 4),
+        w=st.floats(0.0, 5.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flow_adds_nonnegative_term_property(self, p, b, s, w, seed):
+        rng = np.random.default_rng(seed)
+        etc = rng.uniform(0.5, 20, size=(b, s))
+        ready = rng.uniform(0, 50, size=s)
+        pop = rng.integers(0, s, size=(p, b))
+        base = population_makespan(pop, etc, ready)
+        weighted = population_fitness(pop, etc, ready, flow_weight=w)
+        assert (weighted >= base - 1e-9).all()
+
+
+class TestGAConfigFlowWeight:
+    def test_default_zero(self):
+        assert GAConfig().flow_weight == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GAConfig(flow_weight=-1.0)
+
+    def test_ga_optimizes_flow_when_weighted(self, rng):
+        """With a dominant flow weight the GA must prefer per-job
+        completions, i.e. spread jobs to fast empty sites."""
+        from repro.core.ga import evolve
+
+        etc = np.tile(np.array([[1.0, 50.0]]), (4, 1))
+        ready = np.zeros(2)
+        elig = np.ones((4, 2), dtype=bool)
+        res = evolve(
+            etc, ready, elig, rng,
+            GAConfig(population_size=20, generations=30, flow_weight=100.0),
+        )
+        # site 1 is 50x slower; the flow term forbids parking there
+        assert (res.best == 0).all()

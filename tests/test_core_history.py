@@ -1,0 +1,142 @@
+"""Tests for repro.core.history — the STGA lookup table."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import HistoryTable
+
+
+def entry(scale=1.0, b=3, s=2, assignment=None):
+    ready = np.arange(1.0, s + 1) * scale
+    etc = (np.arange(b * s, dtype=float).reshape(b, s) + 1) * scale
+    sd = np.linspace(0.6, 0.9, b)
+    a = (
+        np.asarray(assignment)
+        if assignment is not None
+        else np.zeros(b, dtype=int)
+    )
+    return ready, etc, sd, a
+
+
+class TestInsertQuery:
+    def test_exact_match_returned(self):
+        t = HistoryTable(capacity=10, threshold=0.8)
+        r, e, s, a = entry(assignment=[0, 1, 0])
+        t.insert(r, e, s, a)
+        out = t.query(r, e, s)
+        assert len(out) == 1
+        np.testing.assert_array_equal(out[0], [0, 1, 0])
+
+    def test_near_match_above_threshold(self):
+        t = HistoryTable(capacity=10, threshold=0.8)
+        r, e, s, a = entry()
+        t.insert(r, e, s, a)
+        r2, e2, s2, _ = entry(scale=1.02)
+        assert len(t.query(r2, e2, s2)) == 1
+
+    def test_dissimilar_not_returned(self):
+        t = HistoryTable(capacity=10, threshold=0.8)
+        r, e, s, a = entry()
+        t.insert(r, e, s, a)
+        r2, e2, s2, _ = entry(scale=50.0)
+        assert t.query(r2, e2, s2) == []
+
+    def test_shape_mismatch_filtered(self):
+        t = HistoryTable(capacity=10, threshold=0.0)
+        r, e, s, a = entry(b=3)
+        t.insert(r, e, s, a)
+        r2, e2, s2, _ = entry(b=4)
+        assert t.query(r2, e2, s2) == []
+
+    def test_best_similarity_first(self):
+        t = HistoryTable(capacity=10, threshold=0.0)
+        r, e, s, _ = entry()
+        t.insert(*entry(scale=1.3, assignment=[1, 1, 1])[:3], [1, 1, 1])
+        t.insert(*entry(scale=1.0, assignment=[0, 0, 0])[:3], [0, 0, 0])
+        out = t.query(r, e, s)
+        np.testing.assert_array_equal(out[0], [0, 0, 0])
+
+    def test_max_results(self):
+        t = HistoryTable(capacity=10, threshold=0.0)
+        for i in range(5):
+            r, e, s, _ = entry(scale=1.0 + i * 0.01)
+            t.insert(r, e, s, [i, i, i])
+        r, e, s, _ = entry()
+        assert len(t.query(r, e, s, max_results=2)) == 2
+
+    def test_returned_copies_safe_to_mutate(self):
+        t = HistoryTable(capacity=10, threshold=0.8)
+        r, e, s, a = entry(assignment=[0, 1, 0])
+        t.insert(r, e, s, a)
+        out = t.query(r, e, s)[0]
+        out[:] = 9
+        np.testing.assert_array_equal(t.query(r, e, s)[0], [0, 1, 0])
+
+    def test_stats(self):
+        t = HistoryTable(capacity=10, threshold=0.8)
+        r, e, s, a = entry()
+        t.insert(r, e, s, a)
+        t.query(r, e, s)  # hit
+        r2, e2, s2, _ = entry(scale=50.0)
+        t.query(r2, e2, s2)  # miss
+        assert t.queries == 2 and t.hits == 1
+        assert t.hit_rate == 0.5
+
+    def test_validation(self):
+        t = HistoryTable(capacity=2)
+        r, e, s, a = entry()
+        with pytest.raises(ValueError, match="assignment length"):
+            t.insert(r, e, s, [0])
+        with pytest.raises(ValueError, match="ready length"):
+            t.insert(np.zeros(5), e, s, a)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HistoryTable(capacity=0)
+        with pytest.raises(ValueError):
+            HistoryTable(threshold=1.5)
+        with pytest.raises(ValueError):
+            HistoryTable(eviction="mru")
+
+
+class TestEviction:
+    def test_capacity_enforced(self):
+        t = HistoryTable(capacity=3, threshold=0.0)
+        for i in range(5):
+            r, e, s, _ = entry(scale=1.0 + i)
+            t.insert(r, e, s, [i, i, i])
+        assert len(t) == 3
+
+    def test_lru_keeps_recently_queried(self):
+        t = HistoryTable(capacity=2, threshold=0.5)
+        r0, e0, s0, _ = entry(scale=1.0)
+        r1, e1, s1, _ = entry(scale=1.1)
+        t.insert(r0, e0, s0, [0, 0, 0])
+        t.insert(r1, e1, s1, [1, 1, 1])
+        # touch entry 0 so entry 1 becomes LRU
+        assert t.query(r0, e0, s0, max_results=1)
+        r2, e2, s2, _ = entry(scale=40.0)
+        t.insert(r2, e2, s2, [2, 2, 2])  # evicts entry 1
+        assert len(t) == 2
+        out = t.query(r0, e0, s0, max_results=5)
+        assert any(np.array_equal(o, [0, 0, 0]) for o in out)
+
+    def test_fifo_ignores_recency(self):
+        t = HistoryTable(capacity=2, threshold=0.5, eviction="fifo")
+        r0, e0, s0, _ = entry(scale=1.0)
+        r1, e1, s1, _ = entry(scale=1.1)
+        t.insert(r0, e0, s0, [0, 0, 0])
+        t.insert(r1, e1, s1, [1, 1, 1])
+        assert t.query(r0, e0, s0, max_results=1)  # does not refresh
+        r2, e2, s2, _ = entry(scale=40.0)
+        t.insert(r2, e2, s2, [2, 2, 2])  # evicts entry 0 (oldest)
+        out = t.query(r0, e0, s0, max_results=5)
+        assert not any(np.array_equal(o, [0, 0, 0]) for o in out)
+
+    def test_clear(self):
+        t = HistoryTable(capacity=3)
+        r, e, s, a = entry()
+        t.insert(r, e, s, a)
+        t.query(r, e, s)
+        t.clear()
+        assert len(t) == 0 and t.queries == 0 and t.hits == 0

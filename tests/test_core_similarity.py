@@ -1,0 +1,98 @@
+"""Tests for repro.core.similarity — Eq. 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.similarity import batch_similarity, vector_similarity
+
+
+class TestVectorSimilarity:
+    def test_identical_is_one(self):
+        assert vector_similarity([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_identical_zeros_is_one(self):
+        assert vector_similarity([0.0, 0.0], [0.0, 0.0]) == 1.0
+
+    def test_literal_formula(self):
+        # paper form: 1 - sum|a-b| / max{max a, max b}
+        a, b = [1.0, 3.0], [2.0, 5.0]
+        lit = vector_similarity(a, b, normalized=False)
+        assert lit == pytest.approx(1 - (1 + 2) / 5)
+
+    def test_normalized_formula(self):
+        a, b = [1.0, 3.0], [2.0, 5.0]
+        norm = vector_similarity(a, b, normalized=True)
+        assert norm == pytest.approx(1 - ((1 + 2) / 2) / 5)
+
+    def test_normalized_ge_literal_for_k_gt_1(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([3.0, 2.0, 1.0])
+        assert vector_similarity(a, b) >= vector_similarity(
+            a, b, normalized=False
+        )
+
+    def test_symmetry(self):
+        a, b = [1.0, 5.0, 2.0], [4.0, 1.0, 2.0]
+        assert vector_similarity(a, b) == vector_similarity(b, a)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            vector_similarity([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            vector_similarity([], [])
+
+    def test_matrix_inputs_flattened(self):
+        a = np.ones((2, 2))
+        assert vector_similarity(a, a) == 1.0
+
+    @given(
+        a=arrays(float, 5, elements=st.floats(0.0, 1e3)),
+        b=arrays(float, 5, elements=st.floats(0.0, 1e3)),
+    )
+    @settings(max_examples=50)
+    def test_upper_bound_property(self, a, b):
+        sim = vector_similarity(a, b)
+        assert sim <= 1.0 + 1e-12
+
+    @given(a=arrays(float, 6, elements=st.floats(0.1, 1e3)))
+    def test_self_similarity_property(self, a):
+        assert vector_similarity(a, a) == 1.0
+
+
+class TestBatchSimilarity:
+    def _batch(self, scale=1.0):
+        ready = np.array([1.0, 2.0]) * scale
+        etc = np.array([[3.0, 4.0], [5.0, 6.0]]) * scale
+        sd = np.array([0.6, 0.8])
+        return ready, etc, sd
+
+    def test_identical_batches(self):
+        r, e, s = self._batch()
+        assert batch_similarity(r, e, s, r, e, s) == 1.0
+
+    def test_average_of_three(self):
+        r1, e1, s1 = self._batch()
+        r2 = r1 * 2
+        sim = batch_similarity(r1, e1, s1, r2, e1, s1)
+        expected = (vector_similarity(r1, r2) + 1.0 + 1.0) / 3
+        assert sim == pytest.approx(expected)
+
+    def test_shape_mismatch_rejected(self):
+        r, e, s = self._batch()
+        with pytest.raises(ValueError, match="ETC shapes"):
+            batch_similarity(r, e, s, r, e[:1], s[:1])
+
+    def test_similar_batches_score_high(self):
+        r1, e1, s1 = self._batch()
+        r2, e2, s2 = self._batch(scale=1.05)
+        assert batch_similarity(r1, e1, s1, r2, e2, s2) > 0.9
+
+    def test_dissimilar_batches_score_low(self):
+        r1, e1, s1 = self._batch()
+        r2, e2, _ = self._batch(scale=20.0)
+        assert batch_similarity(r1, e1, s1, r2, e2, s1) < 0.8

@@ -1,0 +1,149 @@
+"""Hypothesis property tests: end-to-end engine invariants.
+
+These generate random grids, workloads and scheduler configurations
+and assert the conservation laws that must hold for *every* valid
+simulation, regardless of tuning:
+
+* every job completes, exactly once, after its arrival;
+* first start >= arrival; completion >= first start;
+* N_fail <= N_risk <= N; secure placements never fail;
+* per-site busy time fits inside the makespan;
+* with ``failure_point='end'`` busy time equals the attempt-weighted
+  executed work exactly;
+* attempts on one site never overlap in time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.engine import GridSimulator
+from repro.grid.job import Job
+from repro.grid.site import Grid
+from repro.heuristics.factory import make_heuristic
+
+SCHEDULER_SPECS = [
+    ("min-min", "secure"),
+    ("min-min", "f-risky"),
+    ("min-min", "risky"),
+    ("sufferage", "risky"),
+    ("max-min", "f-risky"),
+    ("mct", "risky"),
+    ("olb", "f-risky"),
+    ("duplex", "risky"),
+]
+
+
+def build_case(seed: int, n_jobs: int, n_sites: int):
+    rng = np.random.default_rng(seed)
+    sls = rng.uniform(0.4, 1.0, size=n_sites)
+    sls[rng.integers(n_sites)] = rng.uniform(0.9, 1.0)  # cover max SD
+    grid = Grid.from_arrays(rng.uniform(1, 10, size=n_sites), sls)
+    arrivals = np.sort(rng.uniform(0, 500, size=n_jobs))
+    jobs = [
+        Job(
+            job_id=i,
+            arrival=float(arrivals[i]),
+            workload=float(rng.uniform(1, 200)),
+            security_demand=float(rng.uniform(0.6, 0.9)),
+        )
+        for i in range(n_jobs)
+    ]
+    return grid, jobs
+
+
+@given(
+    seed=st.integers(0, 500),
+    n_jobs=st.integers(1, 25),
+    n_sites=st.integers(1, 6),
+    spec=st.sampled_from(SCHEDULER_SPECS),
+    interval=st.sampled_from([25.0, 100.0, 400.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_engine_invariants(seed, n_jobs, n_sites, spec, interval):
+    grid, jobs = build_case(seed, n_jobs, n_sites)
+    algo, mode = spec
+    sim = GridSimulator(
+        grid,
+        make_heuristic(algo, mode),
+        batch_interval=interval,
+        rng=seed,
+        record_attempts=True,
+    )
+    res = sim.run(jobs)
+
+    completions = res.completions()
+    arrivals = res.arrivals()
+    starts = res.first_starts()
+
+    assert np.isfinite(completions).all()
+    assert (starts >= arrivals - 1e-9).all()
+    assert (completions >= starts - 1e-9).all()
+    assert res.makespan == pytest.approx(completions.max())
+    assert (res.busy_time <= res.makespan + 1e-6).all()
+
+    n_risk = sum(r.took_risk for r in res.records)
+    n_fail = sum(r.ever_failed for r in res.records)
+    assert 0 <= n_fail <= n_risk <= n_jobs
+
+    # every record's visit list matches its attempt count, and
+    # all post-failure visits are absolutely safe
+    log = res.attempts
+    for rec in res.records:
+        assert rec.attempts == len(rec.sites_visited) >= 1
+        mine = log.for_job(rec.job.job_id)
+        assert len(mine) == rec.attempts
+        failed_seen = False
+        for a in mine:
+            if failed_seen and not rec.forced:
+                assert (
+                    grid.security_levels[a.site_id]
+                    >= rec.job.security_demand
+                )
+            failed_seen = failed_seen or a.failed
+
+    # per-site attempts never overlap
+    for s in range(grid.n_sites):
+        site_attempts = sorted(log.for_site(s), key=lambda a: a.start)
+        for prev, nxt in zip(site_attempts, site_attempts[1:]):
+            assert nxt.start >= prev.end - 1e-9
+
+
+@given(seed=st.integers(0, 200), n_jobs=st.integers(1, 20))
+@settings(max_examples=30, deadline=None)
+def test_end_failure_point_work_conservation(seed, n_jobs):
+    grid, jobs = build_case(seed, n_jobs, 4)
+    sim = GridSimulator(
+        grid,
+        make_heuristic("min-min", "risky"),
+        batch_interval=100.0,
+        failure_point="end",
+        rng=seed,
+        record_attempts=True,
+    )
+    res = sim.run(jobs)
+    expected = sum(
+        rec.job.workload / grid.speeds[s]
+        for rec in res.records
+        for s in rec.sites_visited
+    )
+    assert res.busy_time.sum() == pytest.approx(expected)
+    assert res.attempts.total_busy_time() == pytest.approx(expected)
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=20, deadline=None)
+def test_secure_mode_is_failure_free(seed):
+    grid, jobs = build_case(seed, 15, 5)
+    sim = GridSimulator(
+        grid,
+        make_heuristic("min-min", "secure"),
+        batch_interval=100.0,
+        rng=seed,
+    )
+    res = sim.run(jobs)
+    for rec in res.records:
+        if not rec.forced:  # fallback placements may take risk
+            assert not rec.took_risk
+            assert not rec.ever_failed

@@ -1,0 +1,86 @@
+"""Smoke tests for the ablation drivers (tiny scale)."""
+
+import pytest
+
+from repro.core.ga import GAConfig
+from repro.experiments.ablation import (
+    eviction_comparison,
+    failure_point_comparison,
+    lambda_sensitivity,
+    lookup_capacity_sweep,
+    risk_penalty_sweep,
+    stga_vs_conventional,
+    threshold_sweep,
+)
+from repro.experiments.config import RunSettings
+
+FAST_GA = GAConfig(population_size=16, generations=8)
+SETTINGS = RunSettings(batch_interval=2000.0, seed=5, ga=FAST_GA)
+
+
+class TestStgaVsConventional:
+    def test_structure(self):
+        res = stga_vs_conventional(
+            n_jobs=50, scale=1.0, settings=SETTINGS, ga_config=FAST_GA
+        )
+        assert res.stga.scheduler == "STGA"
+        assert res.conventional.scheduler == "GA f-Risky(f=0.5)"
+        assert res.stga_initial_mean > 0
+        assert res.conventional_initial_mean > 0
+        assert 0.0 <= res.stga_history_hit_rate <= 1.0
+
+
+class TestSweeps:
+    def test_lookup_capacity(self):
+        out = lookup_capacity_sweep(
+            capacities=(5, 50),
+            n_jobs=40,
+            settings=SETTINGS,
+            ga_config=FAST_GA,
+        )
+        assert set(out) == {5, 50}
+        assert all(r.makespan > 0 for r in out.values())
+
+    def test_threshold(self):
+        out = threshold_sweep(
+            thresholds=(0.5, 0.9),
+            n_jobs=40,
+            settings=SETTINGS,
+            ga_config=FAST_GA,
+        )
+        for rep, hit_rate in out.values():
+            assert rep.makespan > 0
+            assert 0.0 <= hit_rate <= 1.0
+        # looser threshold cannot have a lower hit rate
+        assert out[0.5][1] >= out[0.9][1]
+
+    def test_eviction(self):
+        out = eviction_comparison(
+            n_jobs=40, settings=SETTINGS, ga_config=FAST_GA
+        )
+        assert set(out) == {"lru", "fifo"}
+
+    def test_lambda(self):
+        out = lambda_sensitivity(
+            lams=(1.0, 10.0), n_jobs=40, settings=SETTINGS
+        )
+        assert set(out) == {1.0, 10.0}
+        for pair in out.values():
+            assert pair["secure"].n_fail == 0
+
+    def test_failure_point(self):
+        out = failure_point_comparison(n_jobs=40, settings=SETTINGS)
+        assert set(out) == {"uniform", "end"}
+        # charging the full attempt cannot shorten the makespan when
+        # the same failures occur... but seeds differ per run, so just
+        # sanity-check positivity.
+        assert all(r.makespan > 0 for r in out.values())
+
+    def test_risk_penalty(self):
+        out = risk_penalty_sweep(
+            penalties=(0.0, 2.0),
+            n_jobs=40,
+            settings=SETTINGS,
+            ga_config=FAST_GA,
+        )
+        assert set(out) == {0.0, 2.0}

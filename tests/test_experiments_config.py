@@ -1,0 +1,83 @@
+"""Tests for repro.experiments.config — Table 1 fidelity."""
+
+import pytest
+
+from repro.core.ga import GAConfig
+from repro.experiments.config import PaperDefaults, RunSettings, bench_scale
+from repro.workloads.nas import NASConfig
+from repro.workloads.psa import PSAConfig
+
+
+class TestPaperDefaults:
+    def test_table1_values(self):
+        d = PaperDefaults()
+        assert d.nas_n_jobs == 16_000
+        assert d.psa_n_jobs == 5_000
+        assert d.nas_n_sites == 12
+        assert d.psa_n_sites == 20
+        assert d.psa_arrival_rate == 0.008
+        assert d.site_security_range == (0.4, 1.0)
+        assert d.job_security_range == (0.6, 0.9)
+        assert d.generations == 100
+        assert d.population_size == 200
+        assert d.crossover_prob == 0.8
+        assert d.mutation_prob == 0.01
+        assert d.lookup_table_size == 150
+        assert d.n_training_jobs == 500
+        assert d.similarity_threshold == 0.8
+        assert d.f_risky == 0.5
+
+    def test_generators_agree_with_table1(self):
+        """The workload generator defaults must match Table 1."""
+        d = PaperDefaults()
+        psa = PSAConfig()
+        assert psa.n_jobs == d.psa_n_jobs
+        assert psa.n_sites == d.psa_n_sites
+        assert psa.arrival_rate == d.psa_arrival_rate
+        assert psa.max_workload == d.psa_max_workload
+        assert d.psa_max_workload_printed == 300_000.0
+        assert psa.n_workload_levels == d.psa_workload_levels
+        assert psa.n_speed_levels == d.psa_speed_levels
+        assert psa.sd_range == d.job_security_range
+        assert psa.sl_range == d.site_security_range
+        nas = NASConfig()
+        assert nas.n_jobs == d.nas_n_jobs
+        assert nas.site_nodes == d.nas_site_nodes
+
+    def test_ga_config_roundtrip(self):
+        cfg = PaperDefaults().ga_config()
+        assert cfg == GAConfig(
+            population_size=200,
+            generations=100,
+            crossover_prob=0.8,
+            mutation_prob=0.01,
+        )
+
+    def test_ga_config_overrides(self):
+        cfg = PaperDefaults().ga_config(generations=7)
+        assert cfg.generations == 7
+        assert cfg.population_size == 200
+
+
+class TestRunSettings:
+    def test_defaults(self):
+        s = RunSettings()
+        assert s.batch_interval == 1000.0
+        assert s.lam == 3.0
+        assert s.failure_point == "uniform"
+        assert s.ga.population_size == 200
+
+
+class TestBenchScale:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert bench_scale(0.07) == 0.07
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert bench_scale() == 0.5
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        with pytest.raises(ValueError):
+            bench_scale()

@@ -1,0 +1,147 @@
+"""Smoke + structure tests for the figure drivers (tiny scale).
+
+Shape assertions on the paper's qualitative claims live in the
+benchmarks (which run at a larger scale); here we verify the drivers
+produce well-formed, deterministic output quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ga import GAConfig
+from repro.experiments.config import PaperDefaults, RunSettings
+from repro.experiments.fig7 import frisky_makespan_sweep, stga_iteration_sweep
+from repro.experiments.fig8 import nas_experiment
+from repro.experiments.fig9 import utilization_panels
+from repro.experiments.fig10 import psa_scaling_experiment
+from repro.experiments.table2 import render_table2, table2_rows
+
+FAST_GA = GAConfig(population_size=16, generations=8)
+SETTINGS = RunSettings(batch_interval=2000.0, seed=3, ga=FAST_GA)
+
+
+class TestFig7a:
+    def test_structure(self):
+        res = frisky_makespan_sweep(
+            n_jobs=40, scale=1.0, f_values=(0.0, 0.5, 1.0), settings=SETTINGS
+        )
+        assert res.f_values.shape == (3,)
+        assert (res.minmin_makespan > 0).all()
+        assert (res.sufferage_makespan > 0).all()
+        assert 0.0 <= res.best_f("minmin") <= 1.0
+        assert "Figure 7(a)" in res.render()
+
+
+class TestFig7b:
+    def test_structure(self):
+        res = stga_iteration_sweep(
+            n_jobs=40,
+            scale=1.0,
+            generations=(0, 5, 10),
+            settings=SETTINGS,
+            defaults=PaperDefaults(),
+        )
+        np.testing.assert_array_equal(res.generations, [0, 5, 10])
+        assert (res.makespan > 0).all()
+        assert res.converged_after() in (0, 5, 10)
+        assert "Figure 7(b)" in res.render()
+
+    def test_generation_grid_deduped_sorted(self):
+        res = stga_iteration_sweep(
+            n_jobs=30,
+            scale=1.0,
+            generations=(5, 0, 5),
+            settings=SETTINGS,
+        )
+        np.testing.assert_array_equal(res.generations, [0, 5])
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            stga_iteration_sweep(
+                n_jobs=30, generations=(-5,), settings=SETTINGS
+            )
+
+
+@pytest.fixture(scope="module")
+def nas_result():
+    return nas_experiment(
+        scale=0.004, settings=SETTINGS, ga_config=FAST_GA
+    )
+
+
+class TestFig8:
+    def test_seven_algorithms(self, nas_result):
+        assert len(nas_result.reports) == 7
+        assert nas_result.stga.scheduler == "STGA"
+
+    def test_secure_zero_failures(self, nas_result):
+        by = nas_result.by_name()
+        assert by["Min-Min Secure"].n_fail == 0
+        assert by["Min-Min Secure"].n_risk == 0
+
+    def test_nfail_le_nrisk_everywhere(self, nas_result):
+        for rep in nas_result.reports:
+            assert rep.n_fail <= rep.n_risk
+
+    def test_render(self, nas_result):
+        out = nas_result.render()
+        assert "STGA" in out and "makespan" in out
+
+
+class TestFig9:
+    def test_three_panels(self, nas_result):
+        a, b, c = utilization_panels(nas_result)
+        assert a.utilization.shape[1] == 12
+        assert a.schedulers == (
+            "Min-Min Secure",
+            "Min-Min f-Risky(f=0.5)",
+            "Min-Min Risky",
+        )
+        assert c.schedulers[-1] == "STGA"
+        assert "Figure 9(a)" in a.render()
+
+    def test_balance_and_idle_helpers(self, nas_result):
+        a, _, c = utilization_panels(nas_result)
+        assert a.idle_sites("Min-Min Secure") >= 0
+        assert c.balance("STGA") >= 0
+
+
+class TestTable2:
+    def test_rows(self, nas_result):
+        rows = table2_rows(nas_result)
+        assert len(rows) == 7
+        stga = next(r for r in rows if r.scheduler == "STGA")
+        assert stga.alpha == 1.0 and stga.beta == 1.0
+
+    def test_render_includes_paper_values(self, nas_result):
+        out = render_table2(nas_result)
+        assert "Table 2 (measured)" in out
+        assert "Table 2 (paper)" in out
+        assert "1.314" in out  # the paper's Min-Min Secure alpha
+
+
+class TestFig10:
+    def test_structure(self):
+        res = psa_scaling_experiment(
+            n_values=(30, 60),
+            scale=1.0,
+            settings=SETTINGS,
+            ga_config=FAST_GA,
+        )
+        assert res.n_values == (30, 60)
+        assert set(res.reports) == {
+            "Min-Min f-Risky(f=0.5)",
+            "Sufferage f-Risky(f=0.5)",
+            "STGA",
+        }
+        s = res.series("STGA", "makespan")
+        assert s.shape == (2,)
+        assert (s > 0).all()
+        assert "Figure 10" in res.render("makespan")
+
+    def test_unknown_metric_rejected(self):
+        res = psa_scaling_experiment(
+            n_values=(25,), scale=1.0, settings=SETTINGS, ga_config=FAST_GA
+        )
+        with pytest.raises(KeyError):
+            res.render("latency")

@@ -1,0 +1,80 @@
+"""Tests for repro.grid.batch."""
+
+import numpy as np
+import pytest
+
+from repro.grid.batch import ScheduleResult
+from tests.conftest import make_batch
+
+
+class TestBatch:
+    def test_shapes_validated(self, small_grid):
+        batch = make_batch(small_grid, [1.0, 2.0])
+        assert batch.n_jobs == 2 and batch.n_sites == 4
+
+    def test_bad_job_vector_rejected(self, small_grid):
+        batch = make_batch(small_grid, [1.0, 2.0])
+        with pytest.raises(ValueError, match="workloads"):
+            type(batch)(
+                now=batch.now,
+                job_ids=batch.job_ids,
+                workloads=np.array([1.0]),  # wrong length
+                security_demands=batch.security_demands,
+                secure_only=batch.secure_only,
+                etc=batch.etc,
+                ready=batch.ready,
+                site_security=batch.site_security,
+                speeds=batch.speeds,
+            )
+
+    def test_bad_site_vector_rejected(self, small_grid):
+        batch = make_batch(small_grid, [1.0])
+        with pytest.raises(ValueError, match="ready"):
+            type(batch)(
+                now=batch.now,
+                job_ids=batch.job_ids,
+                workloads=batch.workloads,
+                security_demands=batch.security_demands,
+                secure_only=batch.secure_only,
+                etc=batch.etc,
+                ready=np.array([0.0]),  # wrong length
+                site_security=batch.site_security,
+                speeds=batch.speeds,
+            )
+
+    def test_completion_uses_now(self, small_grid):
+        batch = make_batch(
+            small_grid, [8.0], now=10.0, ready=[0.0, 0.0, 0.0, 0.0]
+        )
+        comp = batch.completion()
+        np.testing.assert_allclose(comp, [[18.0, 14.0, 12.0, 11.0]])
+
+
+class TestScheduleResult:
+    def test_from_assignment(self):
+        res = ScheduleResult.from_assignment([2, -1, 0])
+        np.testing.assert_array_equal(res.order, [0, 2])
+        assert res.n_assigned == 2 and res.n_deferred == 1
+
+    def test_order_must_match_assigned(self):
+        with pytest.raises(ValueError, match="permutation"):
+            ScheduleResult(
+                assignment=np.array([0, -1]), order=np.array([0, 1])
+            )
+
+    def test_custom_order_ok(self):
+        res = ScheduleResult(
+            assignment=np.array([1, 0, 2]), order=np.array([2, 0, 1])
+        )
+        assert res.n_assigned == 3
+
+    def test_all_deferred(self):
+        res = ScheduleResult.from_assignment([-1, -1])
+        assert res.n_assigned == 0 and res.order.size == 0
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleResult(
+                assignment=np.zeros((2, 2), dtype=int),
+                order=np.array([0]),
+            )

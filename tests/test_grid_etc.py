@@ -1,0 +1,76 @@
+"""Tests for repro.grid.etc."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.grid.etc import completion_matrix, etc_matrix, masked_completion
+
+
+class TestEtcMatrix:
+    def test_values(self):
+        etc = etc_matrix([10.0, 20.0], [1.0, 2.0, 5.0])
+        np.testing.assert_allclose(
+            etc, [[10.0, 5.0, 2.0], [20.0, 10.0, 4.0]]
+        )
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            etc_matrix([-1.0], [1.0])
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            etc_matrix([1.0], [0.0])
+
+    def test_2d_workloads_rejected(self):
+        with pytest.raises(ValueError):
+            etc_matrix(np.ones((2, 2)), [1.0])
+
+    @given(
+        w=arrays(float, st.integers(1, 8),
+                 elements=st.floats(0.1, 1e6)),
+        v=arrays(float, st.integers(1, 6),
+                 elements=st.floats(0.1, 1e3)),
+    )
+    def test_shape_and_positivity_property(self, w, v):
+        etc = etc_matrix(w, v)
+        assert etc.shape == (w.size, v.size)
+        assert (etc > 0).all()
+        # faster site => smaller time, row-wise
+        order = np.argsort(v)
+        sorted_etc = etc[:, order]
+        assert (np.diff(sorted_etc, axis=1) <= 1e-9).all()
+
+
+class TestCompletionMatrix:
+    def test_adds_ready(self):
+        etc = np.array([[1.0, 2.0]])
+        comp = completion_matrix(etc, ready=[5.0, 0.0], now=3.0)
+        np.testing.assert_allclose(comp, [[6.0, 5.0]])
+
+    def test_now_clips_past_ready(self):
+        comp = completion_matrix(np.array([[1.0]]), ready=[0.0], now=10.0)
+        assert comp[0, 0] == 11.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            completion_matrix(np.ones((2, 3)), ready=[0.0, 0.0])
+
+
+class TestMaskedCompletion:
+    def test_ineligible_is_inf(self):
+        comp = np.array([[1.0, 2.0]])
+        elig = np.array([[True, False]])
+        out = masked_completion(comp, elig)
+        assert out[0, 0] == 1.0 and np.isinf(out[0, 1])
+
+    def test_original_untouched(self):
+        comp = np.array([[1.0, 2.0]])
+        masked_completion(comp, np.array([[False, False]]))
+        assert np.isfinite(comp).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            masked_completion(np.ones((1, 2)), np.ones((2, 1), dtype=bool))

@@ -1,0 +1,58 @@
+"""Tests for repro.grid.events."""
+
+import pytest
+
+from repro.grid.events import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventKind.ARRIVAL, 1))
+        q.push(Event(2.0, EventKind.ARRIVAL, 2))
+        q.push(Event(9.0, EventKind.ARRIVAL, 3))
+        assert [q.pop().payload for _ in range(3)] == [2, 1, 3]
+
+    def test_same_time_kind_priority(self):
+        """COMPLETION before ARRIVAL before SCHEDULE at equal time."""
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.SCHEDULE))
+        q.push(Event(1.0, EventKind.ARRIVAL, 7))
+        q.push(Event(1.0, EventKind.COMPLETION, 8))
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [
+            EventKind.COMPLETION,
+            EventKind.ARRIVAL,
+            EventKind.SCHEDULE,
+        ]
+
+    def test_fifo_within_same_key(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.ARRIVAL, 1))
+        q.push(Event(1.0, EventKind.ARRIVAL, 2))
+        assert q.pop().payload == 1
+        assert q.pop().payload == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() == float("inf")
+        q.push(Event(3.0, EventKind.SCHEDULE))
+        assert q.peek_time() == 3.0
+        q.pop()
+        assert q.peek_time() == float("inf")
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(Event(0.0, EventKind.ARRIVAL, 0))
+        assert q and len(q) == 1
+
+    def test_invalid_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(-1.0, EventKind.ARRIVAL, 0))
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(float("nan"), EventKind.ARRIVAL, 0))

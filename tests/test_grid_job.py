@@ -1,0 +1,68 @@
+"""Tests for repro.grid.job."""
+
+import numpy as np
+import pytest
+
+from repro.grid.job import Job, JobRecord, JobState
+
+
+class TestJob:
+    def test_construction(self):
+        j = Job(job_id=0, arrival=1.0, workload=10.0, security_demand=0.7)
+        assert j.nodes == 1
+
+    def test_frozen(self):
+        j = Job(0, 0.0, 1.0, 0.6)
+        with pytest.raises(AttributeError):
+            j.workload = 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(job_id=-1, arrival=0.0, workload=1.0, security_demand=0.6),
+            dict(job_id=0, arrival=-1.0, workload=1.0, security_demand=0.6),
+            dict(job_id=0, arrival=0.0, workload=0.0, security_demand=0.6),
+            dict(job_id=0, arrival=0.0, workload=-5.0, security_demand=0.6),
+            dict(job_id=0, arrival=0.0, workload=1.0, security_demand=-0.1),
+            dict(job_id=0, arrival=0.0, workload=1.0, security_demand=0.6, nodes=0),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Job(**kwargs)
+
+
+class TestJobRecord:
+    def test_initial_state(self):
+        rec = JobRecord(job=Job(0, 0.0, 1.0, 0.6))
+        assert rec.state is JobState.PENDING
+        assert rec.attempts == 0
+        assert not rec.took_risk and not rec.ever_failed
+        assert np.isnan(rec.completion)
+
+    def test_response_time(self):
+        rec = JobRecord(job=Job(0, 5.0, 1.0, 0.6))
+        rec.completion = 12.0
+        assert rec.response_time == 7.0
+
+    def test_service_span(self):
+        rec = JobRecord(job=Job(0, 0.0, 1.0, 0.6))
+        rec.first_start = 3.0
+        rec.completion = 10.0
+        assert rec.service_span == 7.0
+
+    def test_sites_visited_independent_instances(self):
+        a = JobRecord(job=Job(0, 0.0, 1.0, 0.6))
+        b = JobRecord(job=Job(1, 0.0, 1.0, 0.6))
+        a.sites_visited.append(3)
+        assert b.sites_visited == []
+
+
+class TestJobState:
+    def test_members(self):
+        assert {s.value for s in JobState} == {
+            "pending",
+            "running",
+            "done",
+            "failed",
+        }

@@ -1,0 +1,137 @@
+"""Tests for repro.grid.reliability — pluggable failure laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.reliability import (
+    BUILTIN_LAWS,
+    ExponentialFailure,
+    LinearFailure,
+    StepFailure,
+    WeibullFailure,
+    make_failure_law,
+)
+from repro.grid.security import failure_probability
+
+ALL_LAWS = [
+    ExponentialFailure(),
+    ExponentialFailure(lam=8.0),
+    WeibullFailure(),
+    WeibullFailure(shape=0.5, scale=0.2),
+    StepFailure(),
+    LinearFailure(),
+]
+
+
+@pytest.mark.parametrize("law", ALL_LAWS, ids=lambda l: type(l).__name__)
+class TestLawContract:
+    def test_safe_is_zero(self, law):
+        assert law.probability(0.6, 0.6) == 0.0
+        assert law.probability(0.6, 0.95) == 0.0
+
+    def test_bounds(self, law):
+        gaps = np.linspace(0, 1, 50)
+        ps = law.gap_probability(gaps)
+        assert (ps >= 0).all() and (ps < 1).all()
+
+    def test_monotone_in_gap(self, law):
+        gaps = np.linspace(0, 1, 50)
+        ps = law.gap_probability(gaps)
+        assert (np.diff(ps) >= -1e-12).all()
+
+    def test_broadcasting(self, law):
+        sd = np.array([[0.6], [0.9]])
+        sl = np.array([0.4, 0.7, 1.0])
+        out = law.probability(sd, sl)
+        assert out.shape == (2, 3)
+
+    def test_callable_alias(self, law):
+        assert law(0.9, 0.4) == law.probability(0.9, 0.4)
+
+
+class TestExponential:
+    def test_matches_eq1(self):
+        law = ExponentialFailure(lam=3.0)
+        assert law.probability(0.9, 0.4) == pytest.approx(
+            failure_probability(0.9, 0.4, lam=3.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialFailure(lam=0.0)
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self):
+        w = WeibullFailure(shape=1.0, scale=1 / 3.0)
+        e = ExponentialFailure(lam=3.0)
+        gaps = np.linspace(0, 0.5, 20)
+        np.testing.assert_allclose(
+            w.gap_probability(gaps), e.gap_probability(gaps)
+        )
+
+    def test_high_shape_protects_small_gaps(self):
+        gentle = WeibullFailure(shape=4.0, scale=0.3)
+        harsh = WeibullFailure(shape=0.5, scale=0.3)
+        assert gentle.gap_probability(0.05) < harsh.gap_probability(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeibullFailure(shape=0.0)
+        with pytest.raises(ValueError):
+            WeibullFailure(scale=-1.0)
+
+
+class TestStep:
+    def test_threshold_behaviour(self):
+        law = StepFailure(tolerance=0.1, p_fail=0.7)
+        assert law.gap_probability(0.05) == 0.0
+        assert law.gap_probability(0.2) == 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepFailure(tolerance=-0.1)
+        with pytest.raises(ValueError):
+            StepFailure(p_fail=1.0)  # retries could never succeed
+
+
+class TestLinear:
+    def test_slope_and_ceiling(self):
+        law = LinearFailure(slope=2.0, ceiling=0.9)
+        assert law.gap_probability(0.1) == pytest.approx(0.2)
+        assert law.gap_probability(0.8) == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearFailure(slope=0.0)
+        with pytest.raises(ValueError):
+            LinearFailure(ceiling=1.0)
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in BUILTIN_LAWS:
+            assert make_failure_law(name).probability(0.9, 0.4) >= 0
+
+    def test_kwargs_forwarded(self):
+        law = make_failure_law("exponential", lam=7.0)
+        assert law.lam == 7.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown failure law"):
+            make_failure_law("lognormal")
+
+    @given(
+        sd=st.floats(0.0, 1.0),
+        sl=st.floats(0.0, 1.0),
+        name=st.sampled_from(sorted(BUILTIN_LAWS)),
+    )
+    @settings(max_examples=60)
+    def test_contract_property(self, sd, sl, name):
+        law = make_failure_law(name)
+        p = law.probability(sd, sl)
+        assert 0.0 <= p < 1.0
+        if sd <= sl:
+            assert p == 0.0

@@ -1,0 +1,48 @@
+"""Tests for repro.heuristics.base."""
+
+import numpy as np
+import pytest
+
+from repro.grid.security import RiskMode
+from repro.heuristics.minmin import MinMinScheduler
+from repro.heuristics.sufferage import SufferageScheduler
+
+
+class TestSecurityDrivenScheduler:
+    def test_names(self):
+        assert MinMinScheduler("secure").name == "Min-Min Secure"
+        assert MinMinScheduler("risky").name == "Min-Min Risky"
+        assert (
+            MinMinScheduler("f-risky", f=0.5).name == "Min-Min f-Risky(f=0.5)"
+        )
+        assert SufferageScheduler("secure").name == "Sufferage Secure"
+
+    def test_mode_parsing(self):
+        assert MinMinScheduler(RiskMode.RISKY).mode is RiskMode.RISKY
+        with pytest.raises(ValueError):
+            MinMinScheduler("yolo")
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            MinMinScheduler("f-risky", f=1.5)
+        with pytest.raises(ValueError):
+            MinMinScheduler("secure", lam=0.0)
+
+    def test_eligibility_respects_secure_only(self, batch_factory):
+        batch = batch_factory(
+            [1.0, 1.0], sds=[0.9, 0.9], secure_only=[True, False]
+        )
+        sched = MinMinScheduler("risky")
+        elig = sched.eligibility(batch)
+        # secure_only job: only the SL=0.95 site (index 3) qualifies
+        np.testing.assert_array_equal(elig[0], [False, False, False, True])
+        assert elig[1].all()
+
+    def test_masked_completion_inf_on_ineligible(self, batch_factory):
+        batch = batch_factory([8.0], sds=[0.9])
+        comp = MinMinScheduler("secure").masked_completion(batch)
+        assert np.isinf(comp[0, :3]).all()
+        assert np.isfinite(comp[0, 3])
+
+    def test_repr_contains_name(self):
+        assert "Min-Min" in repr(MinMinScheduler("secure"))

@@ -1,0 +1,76 @@
+"""Tests for the unknown-duration wrapper (paper §5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics.estimation import NoisyETCScheduler
+from repro.heuristics.minmin import MinMinScheduler
+
+
+class TestNoisyETC:
+    def test_name(self):
+        sched = NoisyETCScheduler(MinMinScheduler("risky"), sigma=0.5)
+        assert sched.name == "Min-Min Risky +noise(sigma=0.5)"
+
+    def test_sigma_zero_is_passthrough(self, batch_factory):
+        batch = batch_factory(np.linspace(2, 40, 8))
+        exact = MinMinScheduler("risky").schedule(batch)
+        wrapped = NoisyETCScheduler(
+            MinMinScheduler("risky"), sigma=0.0, rng=0
+        ).schedule(batch)
+        np.testing.assert_array_equal(exact.assignment, wrapped.assignment)
+
+    def test_noise_changes_decisions_eventually(self, batch_factory):
+        batch = batch_factory(np.linspace(2, 40, 10))
+        exact = MinMinScheduler("risky").schedule(batch)
+        differs = False
+        for seed in range(10):
+            noisy = NoisyETCScheduler(
+                MinMinScheduler("risky"), sigma=2.0, rng=seed
+            ).schedule(batch)
+            if not np.array_equal(noisy.assignment, exact.assignment):
+                differs = True
+                break
+        assert differs
+
+    def test_original_batch_not_mutated(self, batch_factory):
+        batch = batch_factory([5.0, 10.0])
+        before = batch.etc.copy()
+        NoisyETCScheduler(
+            MinMinScheduler("risky"), sigma=1.0, rng=0
+        ).schedule(batch)
+        np.testing.assert_array_equal(batch.etc, before)
+
+    def test_perturbed_assignments_still_valid(self, batch_factory):
+        batch = batch_factory(
+            np.linspace(2, 30, 8), sds=np.linspace(0.6, 0.9, 8)
+        )
+        inner = MinMinScheduler("secure")
+        noisy = NoisyETCScheduler(inner, sigma=1.5, rng=3)
+        res = noisy.schedule(batch)
+        elig = inner.eligibility(batch)
+        for j, s in enumerate(res.assignment):
+            if s >= 0:
+                assert elig[j, s]  # noise must not break security
+
+    def test_per_entry_mode(self, batch_factory):
+        batch = batch_factory([5.0] * 6)
+        sched = NoisyETCScheduler(
+            MinMinScheduler("risky"), sigma=1.0, per_job=False, rng=0
+        )
+        res = sched.schedule(batch)
+        assert (res.assignment >= 0).all()
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyETCScheduler(MinMinScheduler("risky"), sigma=-0.1)
+
+    def test_reproducible(self, batch_factory):
+        batch = batch_factory(np.linspace(2, 40, 10))
+        a = NoisyETCScheduler(
+            MinMinScheduler("risky"), sigma=1.0, rng=5
+        ).schedule(batch)
+        b = NoisyETCScheduler(
+            MinMinScheduler("risky"), sigma=1.0, rng=5
+        ).schedule(batch)
+        np.testing.assert_array_equal(a.assignment, b.assignment)

@@ -1,0 +1,78 @@
+"""Tests for repro.metrics.compare (Table 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.compare import compare_to_reference, render_comparison
+from repro.metrics.report import PerformanceReport
+
+
+def report(name, makespan, response):
+    return PerformanceReport(
+        scheduler=name,
+        n_jobs=100,
+        makespan=makespan,
+        avg_response_time=response,
+        avg_service_span=response / 2,
+        slowdown_ratio=2.0,
+        n_risk=10,
+        n_fail=2,
+        n_forced=0,
+        total_attempts=102,
+        site_utilization=np.full(4, 50.0),
+        scheduler_seconds=0.1,
+        n_batches=10,
+    )
+
+
+class TestCompare:
+    def test_reference_is_unit(self):
+        reps = [report("STGA", 100.0, 10.0), report("A", 130.0, 20.0)]
+        rows = compare_to_reference(reps, "STGA")
+        stga = next(r for r in rows if r.scheduler == "STGA")
+        assert stga.alpha == 1.0 and stga.beta == 1.0
+        assert stga.rank == 1
+
+    def test_ratios(self):
+        reps = [report("STGA", 100.0, 10.0), report("A", 130.0, 20.0)]
+        a = next(
+            r for r in compare_to_reference(reps) if r.scheduler == "A"
+        )
+        assert a.alpha == pytest.approx(1.3)
+        assert a.beta == pytest.approx(2.0)
+
+    def test_ranking_dense_with_ties(self):
+        reps = [
+            report("STGA", 100.0, 10.0),
+            report("R1", 109.0, 12.6),
+            report("R2", 110.0, 12.7),  # within tolerance of R1
+            report("S1", 131.0, 20.0),
+        ]
+        rows = {r.scheduler: r.rank for r in compare_to_reference(reps)}
+        assert rows["STGA"] == 1
+        assert rows["R1"] == rows["R2"] == 2
+        assert rows["S1"] == 3
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(KeyError, match="reference"):
+            compare_to_reference([report("A", 1.0, 1.0)], "STGA")
+
+    def test_rank_labels(self):
+        reps = [
+            report("STGA", 100.0, 10.0),
+            report("A", 150.0, 20.0),
+            report("B", 200.0, 30.0),
+            report("C", 300.0, 40.0),
+        ]
+        labels = {
+            r.scheduler: r.rank_label for r in compare_to_reference(reps)
+        }
+        assert labels["STGA"] == "1st"
+        assert labels["A"] == "2nd"
+        assert labels["B"] == "3rd"
+        assert labels["C"] == "4th"
+
+    def test_render(self):
+        reps = [report("STGA", 100.0, 10.0), report("A", 130.0, 20.0)]
+        out = render_comparison(compare_to_reference(reps))
+        assert "alpha" in out and "STGA" in out and "1st" in out

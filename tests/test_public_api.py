@@ -1,0 +1,69 @@
+"""Public API contract: everything advertised is importable and every
+``__all__`` entry exists."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.util",
+    "repro.grid",
+    "repro.heuristics",
+    "repro.core",
+    "repro.workloads",
+    "repro.metrics",
+    "repro.experiments",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_entries_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_classes_exported(self):
+        for name in (
+            "GridSimulator",
+            "MinMinScheduler",
+            "SufferageScheduler",
+            "STGAScheduler",
+            "HistoryTable",
+            "psa_scenario",
+            "nas_scenario",
+            "evaluate",
+        ):
+            assert name in repro.__all__
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestSubpackages:
+    def test_importable(self, module_name):
+        importlib.import_module(module_name)
+
+    def test_all_consistent(self, module_name):
+        mod = importlib.import_module(module_name)
+        assert hasattr(mod, "__all__")
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module_name}.{name}"
+
+    def test_docstring(self, module_name):
+        mod = importlib.import_module(module_name)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 20
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_callables_documented(self, module_name):
+        mod = importlib.import_module(module_name)
+        undocumented = [
+            name
+            for name in mod.__all__
+            if callable(getattr(mod, name))
+            and not (getattr(mod, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"{module_name}: {undocumented}"

@@ -1,0 +1,59 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_number, render_table
+
+
+class TestFormatNumber:
+    def test_int(self):
+        assert format_number(42) == "42"
+
+    def test_bool(self):
+        assert format_number(True) == "True"
+
+    def test_float(self):
+        assert format_number(3.14159) == "3.142"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_large_scientific(self):
+        assert "e" in format_number(1.6e6)
+
+    def test_small_scientific(self):
+        assert "e" in format_number(1.2e-5)
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_number("STGA") == "STGA"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["name", "v"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "v" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "22" in lines[3]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="row 0"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+    def test_columns_aligned(self):
+        out = render_table(["col"], [["x"], ["yyyy"]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to equal width

@@ -1,0 +1,60 @@
+"""Tests for repro.workloads.base (Scenario container)."""
+
+import numpy as np
+import pytest
+
+from repro.grid.job import Job
+from repro.grid.site import Grid
+from repro.workloads.base import Scenario
+
+
+def _scenario(n=5):
+    grid = Grid.from_arrays([1.0, 2.0], [0.5, 0.95])
+    jobs = tuple(
+        Job(i, float(i * 10), 5.0 + i, 0.6 + 0.05 * i) for i in range(n)
+    )
+    return Scenario(name="test", grid=grid, jobs=jobs)
+
+
+class TestScenario:
+    def test_properties(self):
+        sc = _scenario()
+        assert sc.n_jobs == 5
+        assert sc.span == 40.0
+        assert sc.total_work == pytest.approx(sum(5.0 + i for i in range(5)))
+
+    def test_vectors(self):
+        sc = _scenario()
+        np.testing.assert_allclose(sc.arrivals(), [0, 10, 20, 30, 40])
+        assert sc.workloads().shape == (5,)
+        assert sc.security_demands().shape == (5,)
+
+    def test_empty_rejected(self):
+        grid = Grid.from_arrays([1.0], [0.5])
+        with pytest.raises(ValueError, match="at least one job"):
+            Scenario(name="x", grid=grid, jobs=())
+
+    def test_unsorted_rejected(self):
+        grid = Grid.from_arrays([1.0], [0.5])
+        jobs = (Job(0, 10.0, 1.0, 0.6), Job(1, 5.0, 1.0, 0.6))
+        with pytest.raises(ValueError, match="sorted"):
+            Scenario(name="x", grid=grid, jobs=jobs)
+
+    def test_head(self):
+        sc = _scenario().head(2)
+        assert sc.n_jobs == 2
+        assert sc.jobs[-1].arrival == 10.0
+        assert "[:2]" in sc.name
+
+    def test_tail_shifts_arrivals(self):
+        sc = _scenario().tail(2)
+        assert sc.n_jobs == 2
+        assert sc.jobs[0].arrival == 0.0
+        assert sc.jobs[1].arrival == 10.0
+
+    def test_head_tail_bounds(self):
+        sc = _scenario()
+        with pytest.raises(ValueError):
+            sc.head(0)
+        with pytest.raises(ValueError):
+            sc.tail(6)

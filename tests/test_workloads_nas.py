@@ -1,0 +1,107 @@
+"""Tests for repro.workloads.nas — the synthetic trace."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.nas import NASConfig, nas_grid, nas_scenario
+
+
+class TestNASConfig:
+    def test_paper_defaults(self):
+        cfg = NASConfig()
+        assert cfg.n_jobs == 16_000
+        assert cfg.trace_days == 92
+        assert cfg.squeeze == 2.0
+        assert sum(cfg.site_nodes) == 128
+        assert cfg.site_nodes.count(16) == 4
+        assert cfg.site_nodes.count(8) == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_jobs=0),
+            dict(trace_days=0),
+            dict(squeeze=0.0),
+            dict(node_weights=(1.0,)),  # misaligned with sizes
+            dict(log_rt_lo=3.0, log_rt_hi=2.0),
+            dict(site_nodes=()),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NASConfig(**kwargs)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            NASConfig(
+                node_sizes=(1, 2),
+                node_weights=(0.5, 0.6),
+            )
+
+
+class TestNASGrid:
+    def test_layout(self):
+        grid = nas_grid(rng=0)
+        assert grid.n_sites == 12
+        speeds = sorted(grid.speeds.tolist(), reverse=True)
+        assert speeds[:4] == [16.0] * 4
+        assert speeds[4:] == [8.0] * 8
+        assert grid.total_speed == 128.0
+
+    def test_feasible(self):
+        assert nas_grid(rng=0).security_levels.max() >= 0.9
+
+
+class TestNASScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return nas_scenario(NASConfig(n_jobs=4000, trace_days=23), rng=0)
+
+    def test_counts(self, scenario):
+        assert scenario.n_jobs == 4000
+
+    def test_power_of_two_nodes(self, scenario):
+        nodes = np.array([j.nodes for j in scenario.jobs])
+        assert set(np.unique(nodes)) <= {1, 2, 4, 8, 16, 32, 64, 128}
+
+    def test_small_jobs_dominate(self, scenario):
+        nodes = np.array([j.nodes for j in scenario.jobs])
+        assert (nodes <= 8).mean() > 0.5
+
+    def test_workload_is_nodes_times_runtime(self, scenario):
+        # runtime = workload / nodes must lie within the configured
+        # log-uniform envelope (plus the size-dependent shift).
+        cfg = NASConfig()
+        for j in scenario.jobs[:200]:
+            runtime = j.workload / j.nodes
+            log_rt = np.log10(runtime)
+            shift = cfg.size_rt_slope * np.log2(j.nodes)
+            assert cfg.log_rt_lo + shift - 1e-9 <= log_rt
+            assert log_rt <= cfg.log_rt_hi + shift + 1e-9
+
+    def test_squeeze_compresses_horizon(self):
+        cfg = NASConfig(n_jobs=500, trace_days=10, squeeze=2.0)
+        sc = nas_scenario(cfg, rng=0)
+        assert sc.jobs[-1].arrival <= 10 * 86400 / 2
+
+    def test_daily_cycle_visible(self, scenario):
+        # Arrivals (after un-squeezing) concentrate in prime time.
+        t = scenario.arrivals() * 2.0  # undo squeeze
+        hour = (t % 86400) // 3600
+        assert ((hour >= 8) & (hour < 18)).mean() > 0.5
+
+    def test_heavy_runtime_tail(self, scenario):
+        w = scenario.workloads()
+        assert w.max() / np.median(w) > 50  # orders of magnitude spread
+
+    def test_reproducible(self):
+        a = nas_scenario(NASConfig(n_jobs=100, trace_days=5), rng=7)
+        b = nas_scenario(NASConfig(n_jobs=100, trace_days=5), rng=7)
+        assert a.workloads().tolist() == b.workloads().tolist()
+
+    def test_overload_regime_at_full_scale(self):
+        """The paper's NAS setup is a backlogged system: offered load
+        exceeds grid capacity over the squeezed horizon."""
+        sc = nas_scenario(NASConfig(), rng=0)
+        load_ratio = sc.total_work / (sc.grid.total_speed * sc.span)
+        assert load_ratio > 1.0

@@ -1,0 +1,82 @@
+"""Tests for repro.workloads.psa."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.psa import PSAConfig, psa_scenario
+
+
+class TestPSAConfig:
+    def test_table1_defaults(self):
+        cfg = PSAConfig()
+        assert cfg.n_jobs == 5000
+        assert cfg.n_sites == 20
+        assert cfg.arrival_rate == 0.008
+        assert cfg.n_workload_levels == 20
+        assert cfg.max_workload == 30_000.0  # calibrated; Table 1 prints 300000
+        assert cfg.n_speed_levels == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_jobs=0),
+            dict(n_sites=0),
+            dict(arrival_rate=0.0),
+            dict(max_workload=-1.0),
+            dict(n_workload_levels=0),
+            dict(n_speed_levels=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PSAConfig(**kwargs)
+
+
+class TestPSAScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return psa_scenario(PSAConfig(n_jobs=2000), rng=0)
+
+    def test_counts(self, scenario):
+        assert scenario.n_jobs == 2000
+        assert scenario.grid.n_sites == 20
+
+    def test_workload_levels_discrete(self, scenario):
+        levels = set(scenario.workloads().tolist())
+        expected = {1500.0 * k for k in range(1, 21)}
+        assert levels <= expected
+        assert len(levels) > 10  # most levels exercised
+
+    def test_speed_levels_discrete(self, scenario):
+        speeds = set(scenario.grid.speeds.tolist())
+        assert speeds <= {float(k) for k in range(1, 11)}
+
+    def test_security_ranges(self, scenario):
+        sds = scenario.security_demands()
+        assert (sds >= 0.6).all() and (sds <= 0.9).all()
+        sls = scenario.grid.security_levels
+        assert (sls >= 0.4).all() and (sls <= 1.0).all()
+
+    def test_feasibility_guaranteed(self, scenario):
+        assert scenario.grid.security_levels.max() >= 0.9
+
+    def test_arrivals_sorted_poisson_rate(self, scenario):
+        arr = scenario.arrivals()
+        assert (np.diff(arr) > 0).all()
+        assert np.diff(arr).mean() == pytest.approx(125.0, rel=0.15)
+
+    def test_reproducible(self):
+        a = psa_scenario(PSAConfig(n_jobs=50), rng=3)
+        b = psa_scenario(PSAConfig(n_jobs=50), rng=3)
+        assert a.workloads().tolist() == b.workloads().tolist()
+        np.testing.assert_array_equal(
+            a.grid.security_levels, b.grid.security_levels
+        )
+
+    def test_seed_changes_output(self):
+        a = psa_scenario(PSAConfig(n_jobs=50), rng=1)
+        b = psa_scenario(PSAConfig(n_jobs=50), rng=2)
+        assert a.workloads().tolist() != b.workloads().tolist()
+
+    def test_name(self, scenario):
+        assert scenario.name == "PSA(N=2000)"

@@ -1,0 +1,63 @@
+"""Tests for repro.workloads.security."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.security import (
+    sample_security_demands,
+    sample_security_levels,
+)
+
+
+class TestSecurityDemands:
+    def test_range(self, rng):
+        sds = sample_security_demands(5000, rng)
+        assert (sds >= 0.6).all() and (sds <= 0.9).all()
+
+    def test_roughly_uniform(self, rng):
+        sds = sample_security_demands(20000, rng)
+        assert sds.mean() == pytest.approx(0.75, abs=0.01)
+
+    def test_custom_range(self, rng):
+        sds = sample_security_demands(100, rng, lo=0.1, hi=0.2)
+        assert (sds >= 0.1).all() and (sds <= 0.2).all()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_security_demands(0, rng)
+
+
+class TestSecurityLevels:
+    def test_range(self, rng):
+        sls = sample_security_levels(5000, rng, ensure_cover=None)
+        assert (sls >= 0.4).all() and (sls <= 1.0).all()
+
+    def test_ensure_cover_guarantees_safe_site(self):
+        # With 2 sites, max SL < 0.9 happens often without the fix.
+        hit = False
+        for seed in range(200):
+            rng = np.random.default_rng(seed)
+            raw = rng.uniform(0.4, 1.0, size=2)
+            if raw.max() < 0.9:
+                hit = True
+            sls = sample_security_levels(
+                2, np.random.default_rng(seed), ensure_cover=0.9
+            )
+            assert sls.max() >= 0.9
+        assert hit  # the guarantee was actually exercised
+
+    def test_cover_none_raw_distribution(self):
+        found_uncovered = any(
+            sample_security_levels(
+                2, np.random.default_rng(s), ensure_cover=None
+            ).max()
+            < 0.9
+            for s in range(200)
+        )
+        assert found_uncovered
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_security_levels(0, rng)
+        with pytest.raises(ValueError):
+            sample_security_levels(3, rng, ensure_cover=2.0)
