@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Replication sweep: paper results with error bars.
+
+The paper (and the seed reproduction) reports every number from a
+single seed.  This example re-runs the headline comparisons as an
+N-seed x M-variant sweep fanned out over a process pool, then prints
+
+1. the Figure 10 job-count scaling panels as mean ± std series,
+2. Table 2 (alpha/beta vs STGA) aggregated over the seed ensemble,
+3. the Figure 7(a) risk-level sweep with per-f error bars,
+
+so "STGA wins" claims come with the spread that supports them.
+
+Run (about a minute at the default 2% scale):
+    python examples/replication_sweep.py [scale] [n_seeds] [max_workers]
+"""
+
+import sys
+
+from repro.experiments.config import RunSettings
+from repro.experiments.fig7 import frisky_makespan_sweep
+from repro.experiments.sweep import (
+    job_scaling_variants,
+    run_sweep,
+    seed_list,
+)
+from repro.metrics.compare import compare_ensemble, render_ensemble_comparison
+
+
+def main(
+    scale: float = 0.02, n_seeds: int = 3, max_workers: int | None = None
+) -> None:
+    settings = RunSettings(batch_interval=1000.0, seed=2005)
+    seeds = seed_list(n_seeds, base_seed=settings.seed)
+
+    print(f"=== Figure 10 with error bars ({n_seeds} seeds) ===")
+    result = run_sweep(
+        job_scaling_variants([1000, 2000, 5000]),
+        seeds,
+        settings=settings,
+        scale=scale,
+        max_workers=max_workers,
+    )
+    for metric in ("makespan", "avg_response_time", "slowdown_ratio",
+                   "n_fail"):
+        print(result.render(metric))
+        print()
+
+    print("=== Table 2 over the seed ensemble ===")
+    largest = result.variants[-1].name
+    print(render_ensemble_comparison(
+        compare_ensemble(result.per_seed_lineups(largest)),
+        title=f"Table 2 over {n_seeds} seeds ({largest})",
+    ))
+    print()
+
+    print("=== Figure 7(a) with error bars ===")
+    fig7 = frisky_makespan_sweep(
+        scale=scale,
+        f_values=(0.0, 0.25, 0.5, 0.75, 1.0),
+        settings=settings,
+        seeds=seeds,
+        max_workers=max_workers,
+    )
+    print(fig7.render())
+    print(f"best f (ensemble mean): Min-Min {fig7.best_f('minmin')}, "
+          f"Sufferage {fig7.best_f('sufferage')} (paper: 0.5-0.6)")
+
+
+if __name__ == "__main__":
+    main(
+        float(sys.argv[1]) if len(sys.argv) > 1 else 0.02,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 3,
+        int(sys.argv[3]) if len(sys.argv) > 3 else None,
+    )

@@ -9,6 +9,7 @@ Examples
     repro-grid table2 --scale 0.05
     repro-grid fig10 --scale 0.02
     repro-grid ablation --scale 0.05
+    repro-grid sweep --scale 0.01 --sweep-seeds 5 --sweep-jobs 1000,2000
 
 ``--scale 1.0`` runs the paper-size experiments (minutes of CPU time);
 the default is a fast scaled-down run with identical distributions.
@@ -25,7 +26,13 @@ from repro.experiments.fig7 import frisky_makespan_sweep, stga_iteration_sweep
 from repro.experiments.fig8 import nas_experiment
 from repro.experiments.fig9 import utilization_panels
 from repro.experiments.fig10 import psa_scaling_experiment
+from repro.experiments.sweep import (
+    job_scaling_variants,
+    run_sweep,
+    seed_list,
+)
 from repro.experiments.table2 import render_table2
+from repro.metrics.compare import compare_ensemble, render_ensemble_comparison
 from repro.util.tables import render_table
 
 __all__ = ["main", "build_parser"]
@@ -43,7 +50,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=["fig7a", "fig7b", "fig8", "fig9", "fig10", "table2", "ablation"],
+        choices=[
+            "fig7a",
+            "fig7b",
+            "fig8",
+            "fig9",
+            "fig10",
+            "table2",
+            "ablation",
+            "sweep",
+        ],
         help="which paper artifact to regenerate",
     )
     parser.add_argument(
@@ -64,6 +80,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=3.0,
         help="Eq.1 failure-rate constant lambda (default 3.0)",
+    )
+    sweep = parser.add_argument_group("sweep options")
+    sweep.add_argument(
+        "--sweep-seeds",
+        type=int,
+        default=3,
+        help="number of replication seeds (default 3)",
+    )
+    sweep.add_argument(
+        "--sweep-workload",
+        choices=["psa", "nas"],
+        default="psa",
+        help="workload generator for the sweep variants (default psa)",
+    )
+    sweep.add_argument(
+        "--sweep-jobs",
+        type=str,
+        default="1000,2000",
+        help="comma-separated job counts, one variant each",
+    )
+    sweep.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: one per CPU; 1 = sequential)",
     )
     return parser
 
@@ -97,6 +138,44 @@ def main(argv: list[str] | None = None) -> int:
                 print()
         else:
             print(render_table2(nas))
+    elif args.experiment == "sweep":
+        try:
+            n_values = [int(x) for x in args.sweep_jobs.split(",") if x.strip()]
+        except ValueError:
+            print(f"bad --sweep-jobs value {args.sweep_jobs!r}", file=sys.stderr)
+            return 2
+        n_values = list(dict.fromkeys(n_values))  # dedupe, keep order
+        if not n_values or args.sweep_seeds < 1:
+            print("need >= 1 job count and >= 1 seed", file=sys.stderr)
+            return 2
+        if any(n < 1 for n in n_values):
+            print(
+                f"--sweep-jobs counts must be >= 1, got {args.sweep_jobs!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.max_workers is not None and args.max_workers < 1:
+            print(
+                f"--max-workers must be >= 1, got {args.max_workers}",
+                file=sys.stderr,
+            )
+            return 2
+        res = run_sweep(
+            job_scaling_variants(n_values, workload=args.sweep_workload),
+            seed_list(args.sweep_seeds, base_seed=args.seed),
+            settings=settings,
+            scale=args.scale,
+            max_workers=args.max_workers,
+        )
+        for metric in ("makespan", "avg_response_time", "slowdown_ratio",
+                       "n_fail"):
+            print(res.render(metric))
+            print()
+        last = res.variants[-1].name
+        rows = compare_ensemble(res.per_seed_lineups(last))
+        print(render_ensemble_comparison(
+            rows, title=f"Table 2 over the sweep ensemble ({last})"
+        ))
     elif args.experiment == "fig10":
         res = psa_scaling_experiment(scale=args.scale, settings=settings)
         for metric in ("makespan", "avg_response", "slowdown", "n_fail"):

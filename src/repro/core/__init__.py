@@ -28,7 +28,11 @@ from repro.core.operators import (
     selection_weights,
     single_point_crossover,
 )
-from repro.core.similarity import batch_similarity, vector_similarity
+from repro.core.similarity import (
+    batch_similarity,
+    population_similarity,
+    vector_similarity,
+)
 from repro.core.stga import (
     RecordingScheduler,
     StandardGAScheduler,
@@ -58,6 +62,7 @@ __all__ = [
     "mutate",
     "apply_elitism",
     "batch_similarity",
+    "population_similarity",
     "vector_similarity",
     "STGAScheduler",
     "StandardGAScheduler",

@@ -44,30 +44,13 @@ def population_makespan(
         (B, S) execution times.
     ready:
         (S,) site ready times (already clipped to >= now).
-    """
-    pop = np.asarray(population, dtype=np.int64)
-    etc = np.asarray(etc, dtype=float)
-    ready = np.asarray(ready, dtype=float)
-    if pop.ndim != 2:
-        raise ValueError(f"population must be (P, B), got shape {pop.shape}")
-    p, b = pop.shape
-    if etc.shape[0] != b:
-        raise ValueError(
-            f"etc has {etc.shape[0]} jobs but chromosomes have {b} genes"
-        )
-    s = etc.shape[1]
-    if ready.shape != (s,):
-        raise ValueError(f"ready has shape {ready.shape}, expected ({s},)")
-    if (pop < 0).any() or (pop >= s).any():
-        raise ValueError("population contains site indices outside [0, S)")
 
-    weights = etc[np.arange(b)[None, :], pop]  # (P, B) per-gene exec times
-    flat = (pop + (np.arange(p)[:, None] * s)).ravel()
-    sums = np.bincount(flat, weights=weights.ravel(), minlength=p * s)
-    loads = sums.reshape(p, s)
-    occupied = np.bincount(flat, minlength=p * s).reshape(p, s) > 0
-    completion = np.where(occupied, ready[None, :] + loads, -np.inf)
-    return completion.max(axis=1)
+    This delegates to :func:`population_fitness` with
+    ``flow_weight=0`` — the two used to carry separate copies of the
+    bincount/occupied/makespan block, and a fix landing in only one of
+    them is exactly the bug class the delegation removes.
+    """
+    return population_fitness(population, etc, ready, flow_weight=0.0)
 
 
 def population_fitness(

@@ -11,6 +11,7 @@ found.  The STGA differs from the conventional GA *only* in the
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -97,6 +98,7 @@ def evolve(
     *,
     initial: np.ndarray | None = None,
     track_history: bool = False,
+    strict_seeds: bool = False,
 ) -> GAResult:
     """Run the generational GA and return the best assignment.
 
@@ -117,10 +119,15 @@ def evolve(
         Optional (K, B) seed chromosomes (the STGA's history seeds).
         They are eligibility-repaired, then topped up with random
         chromosomes to the configured population size; surplus seeds
-        are truncated.
+        beyond ``population_size`` are truncated with a
+        :class:`RuntimeWarning` (the dropped seeds silently losing
+        their schedules is almost never intended).
     track_history:
         Record the best-so-far fitness per generation (costs one float
         per generation).
+    strict_seeds:
+        Raise :class:`ValueError` instead of warning when ``initial``
+        holds more chromosomes than the population can take.
     """
     etc = np.asarray(etc, dtype=float)
     ready = np.asarray(ready, dtype=float)
@@ -135,7 +142,16 @@ def evolve(
 
     p = config.population_size
     if initial is not None and len(initial) > 0:
-        seeds = np.atleast_2d(initial)[:p]
+        seeds = np.atleast_2d(initial)
+        if seeds.shape[0] > p:
+            msg = (
+                f"{seeds.shape[0]} seed chromosomes exceed "
+                f"population_size {p}; surplus seeds are dropped"
+            )
+            if strict_seeds:
+                raise ValueError(msg)
+            warnings.warn(msg, RuntimeWarning, stacklevel=2)
+        seeds = seeds[:p]
         if seeds.shape[1] != b:
             raise ValueError(
                 f"seed chromosomes have {seeds.shape[1]} genes, expected {b}"

@@ -13,6 +13,13 @@ Ready times are compared *relative to the batch instant* (the stored
 vector is ``ready - now``): two identical load patterns occurring on
 different days should match, and absolute simulation timestamps would
 otherwise dominate Eq. 2's denominator.
+
+Queries are vectorised: same-shape entries are cached as stacked
+arrays (one block per (B, S) shape) and all Eq. 2 similarities are
+computed in a single numpy pass
+(:func:`repro.core.similarity.population_similarity`), instead of a
+Python-level loop over up to ``capacity`` entries per scheduling
+event.  ``benchmarks/test_history_query_speed.py`` pins the speedup.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.similarity import batch_similarity
+from repro.core.similarity import population_similarity
 from repro.util.validation import check_positive
 
 __all__ = ["HistoryEntry", "HistoryTable"]
@@ -42,6 +49,50 @@ class HistoryEntry:
     def shape(self) -> tuple[int, int]:
         """(B, S) — only same-shape entries are comparable."""
         return self.etc.shape
+
+
+class _ShapeBlock:
+    """Same-shape entries stacked for one-pass Eq. 2 scoring.
+
+    Stacks are rebuilt lazily: inserts and evictions append/remove a
+    row and drop the cached stacks; the next query restacks once.  LRU
+    reordering does not touch the block (row order is immaterial — the
+    score sort is on (similarity, insertion id)).
+    """
+
+    __slots__ = ("keys", "_ready", "_etc", "_sd", "_stacks")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self._ready: list[np.ndarray] = []
+        self._etc: list[np.ndarray] = []
+        self._sd: list[np.ndarray] = []
+        self._stacks: tuple[np.ndarray, ...] | None = None
+
+    def add(self, key: int, entry: HistoryEntry) -> None:
+        self.keys.append(key)
+        self._ready.append(entry.ready)
+        self._etc.append(entry.etc.ravel())
+        self._sd.append(entry.security_demands)
+        self._stacks = None
+
+    def remove(self, key: int) -> None:
+        i = self.keys.index(key)
+        for lst in (self.keys, self._ready, self._etc, self._sd):
+            lst.pop(i)
+        self._stacks = None
+
+    def stacks(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._stacks is None:
+            self._stacks = (
+                np.stack(self._ready),
+                np.stack(self._etc),
+                np.stack(self._sd),
+            )
+        return self._stacks
+
+    def __len__(self) -> int:
+        return len(self.keys)
 
 
 @dataclass
@@ -67,6 +118,8 @@ class HistoryTable:
     eviction: str = "lru"
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
     _ids: itertools.count = field(default_factory=itertools.count, repr=False)
+    #: per-shape stacked views of ``_entries`` (vectorised scoring)
+    _blocks: dict = field(default_factory=dict, repr=False)
     #: query statistics, exposed for the experiment reports
     queries: int = 0
     hits: int = 0
@@ -108,8 +161,15 @@ class HistoryTable:
                 f"{etc.shape[1]} sites"
             )
         while len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)  # least recently used / oldest
-        self._entries[next(self._ids)] = entry
+            # least recently used / oldest
+            old_key, old_entry = self._entries.popitem(last=False)
+            self._drop_from_block(old_key, old_entry)
+        key = next(self._ids)
+        self._entries[key] = entry
+        block = self._blocks.get(entry.shape)
+        if block is None:
+            block = self._blocks[entry.shape] = _ShapeBlock()
+        block.add(key, entry)
 
     def query(
         self, ready, etc, security_demands, *, max_results: int | None = None
@@ -125,20 +185,21 @@ class HistoryTable:
         self.queries += 1
 
         scored: list[tuple[float, int]] = []
-        for key, entry in self._entries.items():
-            if entry.shape != etc.shape:
-                continue
-            sim = batch_similarity(
-                entry.ready,
-                entry.etc,
-                entry.security_demands,
-                ready,
-                etc,
-                sds,
-                normalized=self.normalized,
-            )
-            if sim >= self.threshold:
-                scored.append((sim, key))
+        block = self._blocks.get(etc.shape)
+        if block is not None and len(block):
+            ready_s, etc_s, sd_s = block.stacks()
+            # Eq. 2 per parameter across all K same-shape entries in
+            # one numpy pass, then the three-way average — the exact
+            # computation batch_similarity performs entry by entry.
+            sims = (
+                population_similarity(ready_s, ready, normalized=self.normalized)
+                + population_similarity(
+                    etc_s, etc.ravel(), normalized=self.normalized
+                )
+                + population_similarity(sd_s, sds, normalized=self.normalized)
+            ) / 3.0
+            for i in np.flatnonzero(sims >= self.threshold):
+                scored.append((float(sims[i]), block.keys[i]))
 
         scored.sort(key=lambda t: (-t[0], t[1]))
         if max_results is not None:
@@ -152,8 +213,15 @@ class HistoryTable:
             results.append(self._entries[key].assignment.copy())
         return results
 
+    def _drop_from_block(self, key: int, entry: HistoryEntry) -> None:
+        block = self._blocks[entry.shape]
+        block.remove(key)
+        if not len(block):
+            del self._blocks[entry.shape]
+
     def clear(self) -> None:
         """Drop every entry and reset statistics."""
         self._entries.clear()
+        self._blocks.clear()
         self.queries = 0
         self.hits = 0

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["vector_similarity", "batch_similarity"]
+__all__ = ["vector_similarity", "population_similarity", "batch_similarity"]
 
 
 def vector_similarity(a, b, *, normalized: bool = True) -> float:
@@ -48,6 +48,43 @@ def vector_similarity(a, b, *, normalized: bool = True) -> float:
     if normalized:
         total /= av.size
     return 1.0 - total / denom
+
+
+def population_similarity(stack, vec, *, normalized: bool = True) -> np.ndarray:
+    """Eq. 2 similarity of every row of ``stack`` against ``vec``.
+
+    ``stack`` is a (K, n) matrix of K stored vectors; the return value
+    is a (K,) array where entry k equals
+    ``vector_similarity(stack[k], vec)`` exactly (same operations in
+    the same order, so the results are bit-identical).  This is the
+    kernel behind the vectorised :meth:`HistoryTable.query
+    <repro.core.history.HistoryTable.query>`: one numpy pass replaces
+    K Python-level comparisons.
+    """
+    m = np.asarray(stack, dtype=float)
+    v = np.asarray(vec, dtype=float).ravel()
+    if m.ndim != 2:
+        raise ValueError(f"stack must be 2-D (K, n), got shape {m.shape}")
+    if m.shape[1] != v.size:
+        raise ValueError(
+            f"stack rows have length {m.shape[1]}, vector has {v.size}"
+        )
+    if v.size == 0:
+        raise ValueError("similarity of empty vectors is undefined")
+    if m.shape[0] == 0:
+        return np.empty(0, dtype=float)
+    denom = np.maximum(m.max(axis=1), v.max())
+    totals = np.abs(m - v[None, :]).sum(axis=1)
+    if normalized:
+        totals = totals / v.size
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sims = 1.0 - totals / denom
+    degenerate = denom <= 0  # both rows entirely <= 0 (see above)
+    if degenerate.any():
+        sims[degenerate] = np.where(
+            (m[degenerate] == v[None, :]).all(axis=1), 1.0, 0.0
+        )
+    return sims
 
 
 def batch_similarity(

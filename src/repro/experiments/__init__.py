@@ -20,12 +20,27 @@ from repro.experiments.fig7 import (
     frisky_makespan_sweep,
     stga_iteration_sweep,
 )
-from repro.experiments.fig8 import NASExperimentResult, nas_experiment
+from repro.experiments.fig8 import (
+    NASExperimentResult,
+    nas_ensemble,
+    nas_experiment,
+)
 from repro.experiments.fig9 import UtilizationPanel, utilization_panels
 from repro.experiments.fig10 import (
     DEFAULT_N_GRID,
     PSAScalingResult,
+    psa_scaling_ensemble,
     psa_scaling_experiment,
+)
+from repro.experiments.sweep import (
+    SWEEP_METRICS,
+    MetricSummary,
+    ScenarioVariant,
+    SweepResult,
+    job_scaling_variants,
+    lambda_variants,
+    run_sweep,
+    seed_list,
 )
 from repro.experiments.report import generate_report
 from repro.experiments.sensitivity import (
@@ -52,11 +67,21 @@ __all__ = [
     "DEFAULT_ITERATION_GRID",
     "NASExperimentResult",
     "nas_experiment",
+    "nas_ensemble",
     "UtilizationPanel",
     "utilization_panels",
     "PSAScalingResult",
     "psa_scaling_experiment",
+    "psa_scaling_ensemble",
     "DEFAULT_N_GRID",
+    "ScenarioVariant",
+    "MetricSummary",
+    "SweepResult",
+    "run_sweep",
+    "job_scaling_variants",
+    "lambda_variants",
+    "seed_list",
+    "SWEEP_METRICS",
     "table2_rows",
     "render_table2",
     "PAPER_TABLE2",

@@ -17,7 +17,7 @@ variable (or a small built-in) so CI stays fast.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.ga import GAConfig
 from repro.grid.security import DEFAULT_LAMBDA
@@ -83,6 +83,16 @@ class RunSettings:
     ga: GAConfig = field(
         default_factory=lambda: PaperDefaults().ga_config(flow_weight=1.0)
     )
+
+    def with_overrides(self, **overrides) -> "RunSettings":
+        """Copy with some fields replaced; ``None`` values are ignored.
+
+        The sweep harness uses this to layer per-variant engine
+        overrides (λ, batch interval) and the per-replication seed on
+        top of shared base settings.
+        """
+        kwargs = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **kwargs) if kwargs else self
 
 
 def bench_scale(default: float = 0.05) -> float:

@@ -10,6 +10,7 @@ response in the paper).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,13 +22,23 @@ from repro.experiments.runner import (
     run_scheduler,
     scale_jobs,
 )
+from repro.experiments.sweep import (
+    SweepResult,
+    job_scaling_variants,
+    run_sweep,
+)
 from repro.heuristics.minmin import MinMinScheduler
 from repro.heuristics.sufferage import SufferageScheduler
 from repro.metrics.report import PerformanceReport
 from repro.util.tables import render_table
 from repro.workloads.psa import PSAConfig, psa_scenario
 
-__all__ = ["PSAScalingResult", "psa_scaling_experiment", "DEFAULT_N_GRID"]
+__all__ = [
+    "PSAScalingResult",
+    "psa_scaling_experiment",
+    "psa_scaling_ensemble",
+    "DEFAULT_N_GRID",
+]
 
 DEFAULT_N_GRID = (1000, 2000, 5000, 10000)
 
@@ -101,4 +112,32 @@ def psa_scaling_experiment(
     return PSAScalingResult(
         n_values=ns,
         reports={k: tuple(v) for k, v in reports.items()},
+    )
+
+
+def psa_scaling_ensemble(
+    seeds: Sequence[int],
+    *,
+    n_values=DEFAULT_N_GRID,
+    scale: float = 1.0,
+    settings: RunSettings = RunSettings(),
+    defaults: PaperDefaults = PaperDefaults(),
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Figure 10 with error bars: the N-grid replicated over seeds.
+
+    Fans the (N, seed) grid out over a process pool and returns a
+    :class:`~repro.experiments.sweep.SweepResult` whose
+    ``render(metric)`` prints each panel as mean ± std series (the
+    full lineup, a superset of the figure's three schedulers).
+    """
+    return run_sweep(
+        job_scaling_variants(
+            n_values, n_training_jobs=defaults.n_training_jobs
+        ),
+        seeds,
+        settings=settings,
+        scale=scale,
+        defaults=defaults,
+        max_workers=max_workers,
     )

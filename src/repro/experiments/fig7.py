@@ -12,12 +12,14 @@ workloads with N = 1000 jobs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.experiments.config import PaperDefaults, RunSettings
 from repro.experiments.runner import make_trained_stga, run_scheduler, scale_jobs
+from repro.experiments.sweep import parallel_map
 from repro.heuristics.minmin import MinMinScheduler
 from repro.heuristics.sufferage import SufferageScheduler
 from repro.util.tables import render_table
@@ -42,11 +44,20 @@ def _psa(n_jobs: int, seed: int) -> PSAConfig:
 
 @dataclass(frozen=True)
 class FriskySweepResult:
-    """Series for Figure 7(a)."""
+    """Series for Figure 7(a).
+
+    When the sweep was replicated over several seeds the makespan
+    arrays hold the per-f *means* and the ``*_std`` fields the
+    per-f sample standard deviations (error bars); single-seed runs
+    leave the std fields ``None``.
+    """
 
     f_values: np.ndarray
     minmin_makespan: np.ndarray
     sufferage_makespan: np.ndarray
+    minmin_std: np.ndarray | None = None
+    sufferage_std: np.ndarray | None = None
+    n_seeds: int = 1
 
     def best_f(self, which: str = "minmin") -> float:
         """f value attaining the minimum makespan."""
@@ -56,18 +67,45 @@ class FriskySweepResult:
         return float(self.f_values[int(np.argmin(series))])
 
     def render(self) -> str:
-        """Paper-style series table."""
-        rows = [
-            [f, mm, sf]
-            for f, mm, sf in zip(
-                self.f_values, self.minmin_makespan, self.sufferage_makespan
-            )
-        ]
+        """Paper-style series table (mean ± std under replication)."""
+        if self.minmin_std is None:
+            rows = [
+                [f, mm, sf]
+                for f, mm, sf in zip(
+                    self.f_values, self.minmin_makespan, self.sufferage_makespan
+                )
+            ]
+        else:
+            rows = [
+                [f, f"{mm:.6g} ± {ms:.3g}", f"{sf:.6g} ± {ss:.3g}"]
+                for f, mm, ms, sf, ss in zip(
+                    self.f_values,
+                    self.minmin_makespan,
+                    self.minmin_std,
+                    self.sufferage_makespan,
+                    self.sufferage_std,
+                )
+            ]
+        title = "Figure 7(a): makespan vs risk level f (PSA)"
+        if self.n_seeds > 1:
+            title += f", {self.n_seeds} seeds"
         return render_table(
             ["f", "Min-Min f-Risky makespan", "Sufferage f-Risky makespan"],
             rows,
-            title="Figure 7(a): makespan vs risk level f (PSA)",
+            title=title,
         )
+
+
+def _frisky_one_seed(task) -> tuple[np.ndarray, np.ndarray]:
+    """One replication of the Figure 7(a) sweep (picklable worker)."""
+    seed, n_jobs, scale, f_values, settings = task
+    res = frisky_makespan_sweep(
+        n_jobs=n_jobs,
+        scale=scale,
+        f_values=f_values,
+        settings=replace(settings, seed=seed),
+    )
+    return res.minmin_makespan, res.sufferage_makespan
 
 
 def frisky_makespan_sweep(
@@ -76,8 +114,36 @@ def frisky_makespan_sweep(
     scale: float = 1.0,
     f_values=DEFAULT_F_GRID,
     settings: RunSettings = RunSettings(),
+    seeds: Sequence[int] | None = None,
+    max_workers: int | None = None,
 ) -> FriskySweepResult:
-    """Run Figure 7(a): one simulation per (heuristic, f) pair."""
+    """Run Figure 7(a): one simulation per (heuristic, f) pair.
+
+    ``seeds`` replicates the whole sweep once per seed (fanned out
+    over a process pool, see
+    :func:`repro.experiments.sweep.parallel_map`) and returns per-f
+    mean ± std series — the error-bar version of the figure.
+    """
+    if seeds is not None:
+        tasks = [
+            (int(s), n_jobs, scale, tuple(f_values), settings) for s in seeds
+        ]
+        if not tasks:
+            raise ValueError("seeds must be non-empty when given")
+        results = parallel_map(
+            _frisky_one_seed, tasks, max_workers=max_workers
+        )
+        mm = np.stack([r[0] for r in results])  # (n_seeds, n_f)
+        sf = np.stack([r[1] for r in results])
+        ddof = 1 if len(tasks) > 1 else 0
+        return FriskySweepResult(
+            f_values=np.asarray(f_values, dtype=float),
+            minmin_makespan=mm.mean(axis=0),
+            sufferage_makespan=sf.mean(axis=0),
+            minmin_std=mm.std(axis=0, ddof=ddof),
+            sufferage_std=sf.std(axis=0, ddof=ddof),
+            n_seeds=len(tasks),
+        )
     n = scale_jobs(n_jobs, scale)
     scenario = psa_scenario(_psa(n, settings.seed), rng=settings.seed)
     fs = np.asarray(f_values, dtype=float)

@@ -9,16 +9,22 @@ single entry point for the NAS study.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
 
 from repro.core.ga import GAConfig
 from repro.experiments.config import PaperDefaults, RunSettings
 from repro.experiments.runner import run_lineup, scale_jobs
+from repro.experiments.sweep import (
+    ScenarioVariant,
+    SweepResult,
+    run_sweep,
+)
 from repro.metrics.report import PerformanceReport
 from repro.util.tables import render_table
 from repro.workloads.nas import NASConfig, nas_scenario
 
-__all__ = ["NASExperimentResult", "nas_experiment"]
+__all__ = ["NASExperimentResult", "nas_experiment", "nas_ensemble"]
 
 
 @dataclass(frozen=True)
@@ -81,3 +87,34 @@ def nas_experiment(
         ga_config=ga_config,
     )
     return NASExperimentResult(reports=tuple(reports))
+
+
+def nas_ensemble(
+    seeds: Sequence[int],
+    *,
+    scale: float = 1.0,
+    settings: RunSettings = RunSettings(),
+    defaults: PaperDefaults = PaperDefaults(),
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Figure 8 / Table 2 with error bars: one NAS run per seed.
+
+    Each replication reproduces :func:`nas_experiment` for that seed
+    (identical scenario construction and RNG streams); the returned
+    :class:`~repro.experiments.sweep.SweepResult` carries per-metric
+    mean ± std summaries across the ensemble.
+    """
+    variant = ScenarioVariant(
+        name=f"NAS N={NASConfig().n_jobs}",
+        workload="nas",
+        n_jobs=NASConfig().n_jobs,
+        n_training_jobs=defaults.n_training_jobs,
+    )
+    return run_sweep(
+        [variant],
+        seeds,
+        settings=settings,
+        scale=scale,
+        defaults=defaults,
+        max_workers=max_workers,
+    )

@@ -26,7 +26,14 @@ from repro.metrics.report import PerformanceReport, evaluate
 from repro.util.rng import RngFactory
 from repro.workloads.base import Scenario
 
-__all__ = ["run_scheduler", "make_trained_stga", "run_lineup", "scale_jobs"]
+__all__ = [
+    "run_scheduler",
+    "make_trained_stga",
+    "run_lineup",
+    "scale_jobs",
+    "reports_by_name",
+    "utilization_matrix",
+]
 
 
 def scale_jobs(n_jobs: int, scale: float) -> int:

@@ -1,0 +1,428 @@
+"""Replication sweeps: N seeds x M scenario variants, in parallel.
+
+Every headline number of the paper reproduction was originally a
+single-seed run.  This module turns any lineup experiment into a
+statistically grounded sweep: it fans the (variant, seed) grid out
+over a :class:`concurrent.futures.ProcessPoolExecutor`, collects the
+per-run :class:`~repro.metrics.report.PerformanceReport` objects, and
+aggregates them into mean / std / 95 %-CI summaries per
+(variant, scheduler, metric) cell.
+
+Determinism contract
+--------------------
+A sweep run is *per-seed identical* to sequential
+:func:`~repro.experiments.runner.run_lineup` calls with the same
+:class:`~repro.util.rng.RngFactory` streams: each worker rebuilds its
+scenario from ``(variant, seed)`` exactly the way the figure drivers
+do (workload rng = seed, training rng = seed + 7919, engine/GA
+streams from ``RunSettings.seed = seed``), so the executor fan-out
+changes wall-clock time and nothing else.
+``benchmarks/test_sweep_throughput.py`` asserts this.
+
+CLI
+---
+The sweep is wired into the ``repro-grid`` CLI as the ``sweep``
+experiment::
+
+    repro-grid sweep --scale 0.01 --sweep-seeds 5 --sweep-workload psa \\
+        --sweep-jobs 1000,2000 --max-workers 4
+
+which prints one mean ± std table per paper metric.  ``--max-workers
+1`` forces the sequential in-process fallback (used by the tier-1
+tests so CI never forks).  See ``examples/replication_sweep.py`` for
+the library-level entry points.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.experiments.config import PaperDefaults, RunSettings
+from repro.experiments.runner import reports_by_name, run_lineup, scale_jobs
+from repro.metrics.report import PerformanceReport
+from repro.util.tables import render_table
+from repro.workloads.base import Scenario
+from repro.workloads.nas import NASConfig, nas_scenario
+from repro.workloads.psa import PSAConfig, psa_scenario
+
+__all__ = [
+    "ScenarioVariant",
+    "MetricSummary",
+    "SweepResult",
+    "run_sweep",
+    "job_scaling_variants",
+    "lambda_variants",
+    "seed_list",
+    "SWEEP_METRICS",
+    "parallel_map",
+]
+
+#: PerformanceReport attributes aggregated per sweep cell — the four
+#: Figure 8/10 panel metrics plus N_risk.
+SWEEP_METRICS = (
+    "makespan",
+    "avg_response_time",
+    "slowdown_ratio",
+    "n_risk",
+    "n_fail",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioVariant:
+    """One scenario configuration of the sweep grid.
+
+    A variant pins the workload side (generator, job count, grid
+    size, arrival intensity) and any engine overrides (λ, batch
+    interval); the replication seed stays free — the sweep crosses
+    every variant with every seed.
+
+    ``n_sites`` and ``arrival_rate`` apply to the PSA generator only
+    (the NAS grid layout is the paper's fixed 4x16 + 8x8 site plan);
+    ``None`` keeps the workload default.  ``n_training_jobs`` sizes
+    the STGA warm-up stream (paper: 500); ``0`` skips the warm-up.
+    """
+
+    name: str
+    workload: str = "psa"  # "psa" | "nas"
+    n_jobs: int = 1000
+    n_sites: int | None = None
+    arrival_rate: float | None = None
+    lam: float | None = None
+    batch_interval: float | None = None
+    n_training_jobs: int = 500
+
+    def __post_init__(self) -> None:
+        if self.workload not in ("psa", "nas"):
+            raise ValueError(
+                f"workload must be 'psa' or 'nas', got {self.workload!r}"
+            )
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.n_training_jobs < 0:
+            raise ValueError(
+                f"n_training_jobs must be >= 0, got {self.n_training_jobs}"
+            )
+        if self.workload == "nas" and (
+            self.n_sites is not None or self.arrival_rate is not None
+        ):
+            raise ValueError(
+                "n_sites/arrival_rate are PSA-only knobs (the NAS site "
+                "plan is fixed by the paper)"
+            )
+
+    def settings_for(self, settings: RunSettings, seed: int) -> RunSettings:
+        """Base settings plus this variant's engine overrides and seed."""
+        return settings.with_overrides(
+            seed=seed, lam=self.lam, batch_interval=self.batch_interval
+        )
+
+    def build_scenarios(
+        self, seed: int, scale: float
+    ) -> tuple[Scenario, Scenario | None]:
+        """(scenario, training) for one replication.
+
+        Mirrors the figure drivers exactly: workload rng = ``seed``,
+        training rng = ``seed + 7919``, job counts through
+        :func:`~repro.experiments.runner.scale_jobs`.
+        """
+        n = scale_jobs(self.n_jobs, scale)
+        n_train = (
+            scale_jobs(self.n_training_jobs, scale)
+            if self.n_training_jobs
+            else 0
+        )
+        if self.workload == "psa":
+            cfg = PSAConfig(n_jobs=n)
+            if self.n_sites is not None:
+                cfg = replace(cfg, n_sites=self.n_sites)
+            if self.arrival_rate is not None:
+                cfg = replace(cfg, arrival_rate=self.arrival_rate)
+            scenario = psa_scenario(cfg, rng=seed)
+            # The training stream inherits the variant's overrides
+            # (same arrival intensity etc.) so the warm-up resembles
+            # the live workload; only the grid of `scenario` matters
+            # downstream (warmup_history trains on scenario.grid).
+            training = (
+                psa_scenario(replace(cfg, n_jobs=n_train), rng=seed + 7919)
+                if n_train
+                else None
+            )
+            return scenario, training
+        # NAS — replicate fig8's squeezed-horizon scaling so a 1-seed
+        # sweep reproduces nas_experiment() bit for bit.
+        base = NASConfig(n_jobs=self.n_jobs)
+        days = max(2, int(round(base.trace_days * scale)))
+        scenario = nas_scenario(
+            replace(base, n_jobs=n, trace_days=days), rng=seed
+        )
+        training = None
+        if n_train:
+            train_days = max(1, int(round(days * n_train / max(n, 1))))
+            training = nas_scenario(
+                replace(base, n_jobs=n_train, trace_days=train_days),
+                rng=seed + 7919,
+            )
+        return scenario, training
+
+
+@dataclass(frozen=True)
+class _SweepTask:
+    """Picklable unit of work: one (variant, seed) replication."""
+
+    variant: ScenarioVariant
+    seed: int
+    scale: float
+    settings: RunSettings
+    defaults: PaperDefaults
+    include_stga: bool
+
+
+def _run_task(task: _SweepTask) -> list[PerformanceReport]:
+    """Worker entry point (module-level for ProcessPoolExecutor)."""
+    settings = task.variant.settings_for(task.settings, task.seed)
+    scenario, training = task.variant.build_scenarios(task.seed, task.scale)
+    return run_lineup(
+        scenario,
+        training,
+        settings,
+        defaults=task.defaults,
+        include_stga=task.include_stga,
+    )
+
+
+def parallel_map(fn, items, *, max_workers: int | None = None) -> list:
+    """Order-preserving map over a process pool.
+
+    ``max_workers=None`` sizes the pool to ``min(len(items),
+    cpu_count)``; ``max_workers=1`` (or a single item) runs
+    sequentially in-process — no fork, same results, the tier-1 test
+    fallback.
+    """
+    items = list(items)
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if max_workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if max_workers is None:
+        max_workers = min(len(items), os.cpu_count() or 1)
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items))
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / std / 95 %-CI of one metric across replications."""
+
+    metric: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("cannot summarize an empty replication set")
+
+    @property
+    def n(self) -> int:
+        """Number of replications."""
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1); 0 for a single seed."""
+        if self.n < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the normal-approximation 95 % interval."""
+        return 1.96 * self.std / math.sqrt(self.n)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.6g} ± {self.std:.3g}"
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All replications of one sweep, plus their aggregation.
+
+    ``reports[variant_name][scheduler_name]`` holds one
+    :class:`PerformanceReport` per seed, in ``seeds`` order — the raw
+    material for any downstream statistic; :meth:`summary` and
+    :meth:`render` cover the common mean ± std uses.
+    """
+
+    variants: tuple[ScenarioVariant, ...]
+    seeds: tuple[int, ...]
+    reports: dict[str, dict[str, tuple[PerformanceReport, ...]]]
+
+    def schedulers(self) -> tuple[str, ...]:
+        """Scheduler names, in lineup order."""
+        first = self.reports[self.variants[0].name]
+        return tuple(first)
+
+    def cell(
+        self, variant: str, scheduler: str
+    ) -> tuple[PerformanceReport, ...]:
+        """Per-seed reports of one (variant, scheduler) cell."""
+        return self.reports[variant][scheduler]
+
+    def per_seed_lineups(self, variant: str) -> list[list[PerformanceReport]]:
+        """One report list per seed, in lineup order — the shape
+        :func:`repro.metrics.compare.compare_ensemble` consumes."""
+        return [list(reps) for reps in zip(*self.reports[variant].values())]
+
+    def summary(
+        self, variant: str, scheduler: str, metric: str
+    ) -> MetricSummary:
+        """Aggregate one metric of one cell across seeds."""
+        reps = self.cell(variant, scheduler)
+        return MetricSummary(
+            metric=metric,
+            values=tuple(float(getattr(r, metric)) for r in reps),
+        )
+
+    def summary_grid(
+        self, metric: str
+    ) -> dict[str, dict[str, MetricSummary]]:
+        """``{variant: {scheduler: MetricSummary}}`` for one metric."""
+        return {
+            v.name: {
+                s: self.summary(v.name, s, metric) for s in self.schedulers()
+            }
+            for v in self.variants
+        }
+
+    def render(self, metric: str = "makespan") -> str:
+        """Mean ± std table: rows = variants, columns = schedulers."""
+        names = self.schedulers()
+        rows = [
+            [v.name]
+            + [str(self.summary(v.name, s, metric)) for s in names]
+            for v in self.variants
+        ]
+        return render_table(
+            ["scenario"] + list(names),
+            rows,
+            title=(
+                f"Sweep: {metric} over {len(self.seeds)} seed(s) "
+                f"{tuple(self.seeds)}"
+            ),
+        )
+
+
+def seed_list(n_seeds: int, *, base_seed: int = 2005) -> tuple[int, ...]:
+    """``n_seeds`` distinct replication seeds starting at ``base_seed``."""
+    if n_seeds < 1:
+        raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    return tuple(base_seed + i for i in range(n_seeds))
+
+
+def job_scaling_variants(
+    n_values: Sequence[int],
+    *,
+    workload: str = "psa",
+    n_training_jobs: int | None = None,
+    **overrides,
+) -> tuple[ScenarioVariant, ...]:
+    """One variant per workload size N (the Figure 10 axis)."""
+    if n_training_jobs is None:
+        n_training_jobs = PaperDefaults().n_training_jobs
+    return tuple(
+        ScenarioVariant(
+            name=f"{workload.upper()} N={int(n)}",
+            workload=workload,
+            n_jobs=int(n),
+            n_training_jobs=n_training_jobs,
+            **overrides,
+        )
+        for n in n_values
+    )
+
+
+def lambda_variants(
+    lams: Sequence[float], *, workload: str = "psa", n_jobs: int = 1000
+) -> tuple[ScenarioVariant, ...]:
+    """One variant per Eq. 1 failure-rate constant λ."""
+    return tuple(
+        ScenarioVariant(
+            name=f"{workload.upper()} lam={float(lam):g}",
+            workload=workload,
+            n_jobs=n_jobs,
+            lam=float(lam),
+        )
+        for lam in lams
+    )
+
+
+def run_sweep(
+    variants: Sequence[ScenarioVariant],
+    seeds: Sequence[int],
+    *,
+    settings: RunSettings = RunSettings(),
+    scale: float = 1.0,
+    defaults: PaperDefaults = PaperDefaults(),
+    include_stga: bool = True,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Run the full (variant x seed) grid and aggregate the reports.
+
+    Each grid point is one :func:`run_lineup` call — the paper's
+    seven heuristics plus (optionally) the STGA on one freshly
+    generated scenario.  Grid points are independent, so they fan out
+    over a process pool; ``max_workers=1`` runs them sequentially
+    in-process with identical results.
+    """
+    variants = tuple(variants)
+    seeds = tuple(int(s) for s in seeds)
+    if not variants:
+        raise ValueError("need at least one scenario variant")
+    if not seeds:
+        raise ValueError("need at least one replication seed")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(f"replication seeds must be distinct, got {seeds}")
+    names = [v.name for v in variants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"variant names must be distinct, got {names}")
+
+    tasks = [
+        _SweepTask(
+            variant=v,
+            seed=s,
+            scale=scale,
+            settings=settings,
+            defaults=defaults,
+            include_stga=include_stga,
+        )
+        for v in variants
+        for s in seeds
+    ]
+    outputs = parallel_map(_run_task, tasks, max_workers=max_workers)
+
+    reports: dict[str, dict[str, list[PerformanceReport]]] = {}
+    for task, lineup_reports in zip(tasks, outputs):
+        per_sched = reports.setdefault(task.variant.name, {})
+        for sched_name, rep in reports_by_name(lineup_reports).items():
+            per_sched.setdefault(sched_name, []).append(rep)
+    frozen = {
+        vname: {s: tuple(reps) for s, reps in per_sched.items()}
+        for vname, per_sched in reports.items()
+    }
+    for vname, per_sched in frozen.items():
+        for sched_name, reps in per_sched.items():
+            if len(reps) != len(seeds):  # pragma: no cover - invariant
+                raise RuntimeError(
+                    f"cell ({vname!r}, {sched_name!r}) collected "
+                    f"{len(reps)} reports for {len(seeds)} seeds"
+                )
+    return SweepResult(variants=variants, seeds=seeds, reports=frozen)

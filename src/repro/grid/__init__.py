@@ -2,7 +2,7 @@
 and the discrete-event simulation engine for periodic online batch
 scheduling (paper Section 2)."""
 
-from repro.grid.batch import Batch, ScheduleResult
+from repro.grid.batch import Batch, ScheduleResult, check_order_permutation
 from repro.grid.engine import GridSimulator, SchedulerDeadlock, SimulationResult
 from repro.grid.etc import completion_matrix, etc_matrix, masked_completion
 from repro.grid.events import Event, EventKind, EventQueue
@@ -31,6 +31,7 @@ from repro.grid.trace import Attempt, AttemptLog
 __all__ = [
     "Batch",
     "ScheduleResult",
+    "check_order_permutation",
     "GridSimulator",
     "SimulationResult",
     "SchedulerDeadlock",

@@ -15,7 +15,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Batch", "ScheduleResult"]
+__all__ = ["Batch", "ScheduleResult", "check_order_permutation"]
+
+
+def check_order_permutation(assignment, order) -> None:
+    """Require ``order`` to cover the assigned jobs exactly once each.
+
+    An order entry pointing at an unassigned job would dispatch its
+    -1 site index (which numpy silently resolves to the *last* site),
+    a duplicate would dispatch a job twice, and an omission would
+    strand an assigned job forever.  Shared by
+    :class:`ScheduleResult` construction and the engine's check of
+    duck-typed scheduler results.
+    """
+    a = np.asarray(assignment)
+    o = np.asarray(order)
+    assigned = np.flatnonzero(a >= 0)
+    if o.shape != assigned.shape or not np.array_equal(np.sort(o), assigned):
+        raise ValueError(
+            "order must be a permutation of the assigned job indices: "
+            f"order={o.tolist()} assigned={assigned.tolist()}"
+        )
 
 
 @dataclass(frozen=True)
@@ -111,12 +131,7 @@ class ScheduleResult:
             raise ValueError(f"assignment must be 1-D, got shape {a.shape}")
         if o.ndim != 1:
             raise ValueError(f"order must be 1-D, got shape {o.shape}")
-        assigned = np.flatnonzero(a >= 0)
-        if sorted(o.tolist()) != sorted(assigned.tolist()):
-            raise ValueError(
-                "order must be a permutation of the assigned job indices: "
-                f"order={o.tolist()} assigned={assigned.tolist()}"
-            )
+        check_order_permutation(a, o)
 
     @classmethod
     def from_assignment(cls, assignment) -> "ScheduleResult":

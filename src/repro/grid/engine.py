@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.grid.batch import Batch, ScheduleResult
+from repro.grid.batch import Batch, ScheduleResult, check_order_permutation
 from repro.grid.etc import etc_matrix
 from repro.grid.events import Event, EventKind, EventQueue
 from repro.grid.job import Job, JobRecord, JobState
@@ -309,6 +309,16 @@ class GridSimulator:
             raise ValueError(
                 f"scheduler assigned a site index >= {batch.n_sites}"
             )
+        if (a < -1).any():
+            raise ValueError(
+                "scheduler assignment contains site indices below -1"
+            )
+        # ScheduleResult validates this at construction, but the
+        # engine accepts any duck-typed result — re-check here so a
+        # buggy third-party scheduler cannot dispatch through a
+        # malformed order (e.g. an unassigned job's -1 site index,
+        # which numpy silently resolves to the last site).
+        check_order_permutation(a, result.order)
 
     def _start_attempt(
         self, now, rec, site_idx, free, busy, outcome, events

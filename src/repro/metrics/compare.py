@@ -13,12 +13,22 @@ Min-Min/Sufferage twins of one mode share a rank, as in the paper.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.metrics.report import PerformanceReport
 from repro.util.tables import render_table
 
-__all__ = ["ComparisonRow", "compare_to_reference", "render_comparison"]
+__all__ = [
+    "ComparisonRow",
+    "EnsembleComparisonRow",
+    "compare_to_reference",
+    "compare_ensemble",
+    "render_comparison",
+    "render_ensemble_comparison",
+]
 
 #: two schedulers whose alpha+beta scores differ by less than this are
 #: considered tied (the paper groups Min-Min/Sufferage per mode).
@@ -68,20 +78,86 @@ def compare_to_reference(
         beta = rep.avg_response_time / ref.avg_response_time
         scored.append((rep.scheduler, alpha, beta, alpha + beta))
 
-    # Dense ranking with tolerance-based tying on the combined score.
-    order = sorted(scored, key=lambda t: t[3])
+    ranks = _dense_ranks({name_: score for name_, _, _, score in scored})
+    return [
+        ComparisonRow(scheduler=n, alpha=a, beta=b, rank=ranks[n])
+        for n, a, b, _ in scored
+    ]
+
+
+def _dense_ranks(scores: dict[str, float]) -> dict[str, int]:
+    """Dense ranking with tolerance-based tying on the combined score."""
     ranks: dict[str, int] = {}
     rank = 0
     prev_score = None
-    for name_, _, _, score in order:
+    for name_, score in sorted(scores.items(), key=lambda t: t[1]):
         if prev_score is None or score > prev_score + _TIE_TOL:
             rank += 1
             prev_score = score
         ranks[name_] = rank
+    return ranks
 
+
+@dataclass(frozen=True)
+class EnsembleComparisonRow:
+    """One Table 2 row aggregated across a seed ensemble."""
+
+    scheduler: str
+    alpha_mean: float
+    alpha_std: float
+    beta_mean: float
+    beta_std: float
+    rank: int  # from the mean alpha + beta scores
+    n_seeds: int
+
+
+def compare_ensemble(
+    per_seed_reports: Sequence[list[PerformanceReport]],
+    reference: str = "STGA",
+) -> list[EnsembleComparisonRow]:
+    """Table 2 with error bars: ratios averaged over replications.
+
+    ``per_seed_reports`` holds one report list per seed (same lineup
+    each time, e.g. the per-seed cells of a
+    :class:`~repro.experiments.sweep.SweepResult`).  Alpha and beta
+    are computed per seed against that seed's ``reference`` run, then
+    summarised; ranks use the mean combined score with the same tie
+    tolerance as :func:`compare_to_reference`.
+    """
+    if not per_seed_reports:
+        raise ValueError("need at least one replication")
+    rows_per_seed = [
+        compare_to_reference(reps, reference) for reps in per_seed_reports
+    ]
+    names = [row.scheduler for row in rows_per_seed[0]]
+    for rows in rows_per_seed[1:]:
+        if [row.scheduler for row in rows] != names:
+            raise ValueError("replications disagree on the scheduler lineup")
+
+    n = len(rows_per_seed)
+    ddof = 1 if n > 1 else 0
+    alphas = {
+        name: np.array([rows[i].alpha for rows in rows_per_seed])
+        for i, name in enumerate(names)
+    }
+    betas = {
+        name: np.array([rows[i].beta for rows in rows_per_seed])
+        for i, name in enumerate(names)
+    }
+    ranks = _dense_ranks(
+        {name: float(alphas[name].mean() + betas[name].mean()) for name in names}
+    )
     return [
-        ComparisonRow(scheduler=n, alpha=a, beta=b, rank=ranks[n])
-        for n, a, b, _ in scored
+        EnsembleComparisonRow(
+            scheduler=name,
+            alpha_mean=float(alphas[name].mean()),
+            alpha_std=float(alphas[name].std(ddof=ddof)),
+            beta_mean=float(betas[name].mean()),
+            beta_std=float(betas[name].std(ddof=ddof)),
+            rank=ranks[name],
+            n_seeds=n,
+        )
+        for name in names
     ]
 
 
@@ -91,4 +167,25 @@ def render_comparison(rows: list[ComparisonRow], *, title: str = "") -> str:
         ["Heuristics", "alpha", "beta", "Ranking"],
         [[r.scheduler, r.alpha, r.beta, r.rank_label] for r in rows],
         title=title or "Performance comparison (alpha/beta vs STGA)",
+    )
+
+
+def render_ensemble_comparison(
+    rows: list[EnsembleComparisonRow], *, title: str = ""
+) -> str:
+    """Table 2 layout with mean ± std ratios."""
+    n = rows[0].n_seeds if rows else 0
+    return render_table(
+        ["Heuristics", "alpha", "beta", "Ranking"],
+        [
+            [
+                r.scheduler,
+                f"{r.alpha_mean:.4g} ± {r.alpha_std:.2g}",
+                f"{r.beta_mean:.4g} ± {r.beta_std:.2g}",
+                f"{r.rank}",
+            ]
+            for r in rows
+        ],
+        title=title
+        or f"Performance comparison (alpha/beta vs STGA, {n} seeds)",
     )

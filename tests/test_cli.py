@@ -38,3 +38,38 @@ class TestMain:
         assert main(["table2", "--scale", "0.002"]) == 0
         out = capsys.readouterr().out
         assert "Table 2 (measured)" in out
+
+    def test_sweep_runs(self, capsys):
+        # n_seeds=2, max_workers=1: the tier-1 fast path (no fork)
+        assert main([
+            "sweep", "--scale", "0.002",
+            "--sweep-seeds", "2",
+            "--sweep-jobs", "100",
+            "--max-workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep: makespan over 2 seed(s)" in out
+        assert "±" in out
+        assert "Table 2 over the sweep ensemble" in out
+
+    def test_sweep_bad_jobs_exit_code(self, capsys):
+        assert main(["sweep", "--sweep-jobs", "ten"]) == 2
+        assert "sweep-jobs" in capsys.readouterr().err
+
+    def test_sweep_no_seeds_exit_code(self, capsys):
+        assert main(["sweep", "--sweep-seeds", "0"]) == 2
+        assert "seed" in capsys.readouterr().err
+
+    def test_sweep_bad_workers_exit_code(self, capsys):
+        assert main(["sweep", "--max-workers", "0"]) == 2
+        assert "max-workers" in capsys.readouterr().err
+
+    def test_sweep_nonpositive_jobs_exit_code(self, capsys):
+        assert main(["sweep", "--sweep-jobs", "0,1000"]) == 2
+        assert "sweep-jobs" in capsys.readouterr().err
+
+    def test_sweep_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.sweep_seeds == 3
+        assert args.sweep_workload == "psa"
+        assert args.max_workers is None

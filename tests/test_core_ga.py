@@ -136,15 +136,55 @@ class TestEvolve:
         )
         assert (res.best == 0).all()
 
-    def test_surplus_seeds_truncated(self, rng):
+    def test_surplus_seeds_truncated_with_warning(self, rng):
         etc, ready = self._problem()
         seeds = np.zeros((50, 8), dtype=int)
-        res = evolve(
-            etc, ready, full_elig(8, 4), rng,
-            GAConfig(population_size=10, generations=1),
-            initial=seeds,
-        )
+        with pytest.warns(RuntimeWarning, match="surplus seeds are dropped"):
+            res = evolve(
+                etc, ready, full_elig(8, 4), rng,
+                GAConfig(population_size=10, generations=1),
+                initial=seeds,
+            )
         assert res.best_fitness > 0  # ran without error
+
+    def test_surplus_seeds_strict_raises(self, rng):
+        etc, ready = self._problem()
+        seeds = np.zeros((11, 8), dtype=int)
+        with pytest.raises(ValueError, match="surplus seeds are dropped"):
+            evolve(
+                etc, ready, full_elig(8, 4), rng,
+                GAConfig(population_size=10, generations=1),
+                initial=seeds,
+                strict_seeds=True,
+            )
+
+    def test_surplus_seeds_population_size_respected(self, rng):
+        """The >population-size seed path still yields a valid result
+        drawn from the truncated seed set (plus repair/evolution)."""
+        etc, ready = self._problem()
+        p = 6
+        seeds = np.tile(np.arange(4) % 4, (20, 2))[:, :8] % 4
+        with pytest.warns(RuntimeWarning):
+            res = evolve(
+                etc, ready, full_elig(8, 4), rng,
+                GAConfig(population_size=p, generations=0, n_elite=0),
+                initial=np.asarray(seeds, dtype=int),
+            )
+        assert res.best.shape == (8,)
+        assert ((res.best >= 0) & (res.best < 4)).all()
+
+    def test_exact_population_size_seeds_no_warning(self, rng):
+        import warnings as _warnings
+
+        etc, ready = self._problem()
+        seeds = np.zeros((10, 8), dtype=int)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            evolve(
+                etc, ready, full_elig(8, 4), rng,
+                GAConfig(population_size=10, generations=1),
+                initial=seeds,
+            )
 
     def test_stall_early_stop(self, rng):
         etc = np.array([[1.0]])  # single job, single site: no progress

@@ -140,3 +140,77 @@ class TestEviction:
         t.query(r, e, s)
         t.clear()
         assert len(t) == 0 and t.queries == 0 and t.hits == 0
+
+    def test_insert_after_clear(self):
+        t = HistoryTable(capacity=3, threshold=0.8)
+        r, e, s, a = entry(assignment=[1, 0, 1])
+        t.insert(r, e, s, a)
+        t.clear()
+        t.insert(r, e, s, a)
+        out = t.query(r, e, s)
+        assert len(out) == 1
+        np.testing.assert_array_equal(out[0], [1, 0, 1])
+
+    def test_eviction_under_mixed_shapes(self):
+        """Capacity is global across shapes; eviction drops the oldest
+        entry regardless of which shape bucket it lives in."""
+        t = HistoryTable(capacity=3, threshold=0.0, eviction="fifo")
+        r3, e3, s3, _ = entry(b=3)
+        r4, e4, s4, _ = entry(b=4, s=2)
+        t.insert(r3, e3, s3, [0, 0, 0])          # oldest, shape (3, 2)
+        t.insert(r4, e4, s4, [1, 1, 1, 1])       # shape (4, 2)
+        t.insert(*entry(b=3, scale=1.01)[:3], [2, 2, 2])
+        assert len(t) == 3
+        t.insert(*entry(b=4, s=2, scale=1.01)[:3], [3, 3, 3, 3])
+        # evicts the oldest (3, 2)-shaped entry, not a (4, 2) one
+        assert len(t) == 3
+        out3 = t.query(r3, e3, s3)
+        assert not any(np.array_equal(o, [0, 0, 0]) for o in out3)
+        assert any(np.array_equal(o, [2, 2, 2]) for o in out3)
+        out4 = t.query(r4, e4, s4)
+        assert len(out4) == 2
+
+    def test_mixed_shape_eviction_then_query_each_shape(self):
+        """Evicting the last entry of a shape leaves other shapes
+        queryable and the emptied shape a clean miss."""
+        t = HistoryTable(capacity=2, threshold=0.0, eviction="fifo")
+        r3, e3, s3, _ = entry(b=3)
+        r4, e4, s4, _ = entry(b=4, s=2)
+        t.insert(r3, e3, s3, [0, 0, 0])
+        t.insert(r4, e4, s4, [1, 1, 1, 1])
+        t.insert(*entry(b=5, s=2)[:3], [2] * 5)  # evicts the (3, 2) entry
+        assert t.query(r3, e3, s3) == []
+        assert len(t.query(r4, e4, s4)) == 1
+
+    def test_lru_refresh_on_match_moves_entry_to_end(self):
+        """A successful match must refresh the entry's LRU position
+        (insertion and match both count as 'use')."""
+        t = HistoryTable(capacity=5, threshold=0.5)
+        r0, e0, s0, _ = entry(scale=1.0)
+        r1, e1, s1, _ = entry(scale=1.05)
+        t.insert(r0, e0, s0, [0, 0, 0])  # key 0
+        t.insert(r1, e1, s1, [1, 1, 1])  # key 1
+        assert list(t._entries) == [0, 1]
+        t.query(r0, e0, s0, max_results=1)  # matches entry 0 only? both match
+        # whatever matched was moved to the end; entry 0 is the best
+        # match and max_results=1 restricts the refresh to it
+        assert list(t._entries) == [1, 0]
+
+    def test_lru_refresh_only_for_returned_matches(self):
+        """max_results limits both the returned schedules and the LRU
+        refresh — an entry trimmed from the result list keeps its age."""
+        t = HistoryTable(capacity=5, threshold=0.0)
+        for i in range(3):
+            r, e, s, _ = entry(scale=1.0 + i * 0.01)
+            t.insert(r, e, s, [i, i, i])
+        r, e, s, _ = entry()
+        t.query(r, e, s, max_results=2)  # refreshes keys 0 and 1 only
+        assert list(t._entries) == [2, 0, 1]
+
+    def test_fifo_match_does_not_refresh_order(self):
+        t = HistoryTable(capacity=5, threshold=0.0, eviction="fifo")
+        r0, e0, s0, _ = entry(scale=1.0)
+        t.insert(r0, e0, s0, [0, 0, 0])
+        t.insert(*entry(scale=1.05)[:3], [1, 1, 1])
+        t.query(r0, e0, s0)
+        assert list(t._entries) == [0, 1]

@@ -6,7 +6,54 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core.similarity import batch_similarity, vector_similarity
+from repro.core.similarity import (
+    batch_similarity,
+    population_similarity,
+    vector_similarity,
+)
+
+
+class TestPopulationSimilarity:
+    def test_matches_scalar_exactly(self):
+        rng = np.random.default_rng(0)
+        stack = rng.uniform(0, 100, size=(20, 7))
+        vec = rng.uniform(0, 100, size=7)
+        for normalized in (True, False):
+            vectorized = population_similarity(
+                stack, vec, normalized=normalized
+            )
+            scalar = [
+                vector_similarity(row, vec, normalized=normalized)
+                for row in stack
+            ]
+            # bit-identical, not approx: the kernel performs the same
+            # operations in the same order as the scalar path
+            assert vectorized.tolist() == scalar
+
+    def test_identical_row_is_one(self):
+        v = np.array([1.0, 2.0, 3.0])
+        out = population_similarity(np.stack([v, 2 * v]), v)
+        assert out[0] == 1.0 and out[1] < 1.0
+
+    def test_all_zero_rows(self):
+        zero = np.zeros(3)
+        stack = np.stack([zero, np.array([0.0, 0.0, 1e-9])])
+        out = population_similarity(np.vstack([stack[0:1], stack[0:1]]), zero)
+        np.testing.assert_array_equal(out, [1.0, 1.0])
+        # a zero query against a non-zero row uses the row's max
+        out2 = population_similarity(stack, zero)
+        assert out2[0] == 1.0 and out2[1] != 1.0
+
+    def test_empty_stack_returns_empty(self):
+        assert population_similarity(np.empty((0, 3)), [1.0, 2.0, 3.0]).size == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            population_similarity(np.ones(3), np.ones(3))
+        with pytest.raises(ValueError, match="length"):
+            population_similarity(np.ones((2, 3)), np.ones(4))
+        with pytest.raises(ValueError, match="empty"):
+            population_similarity(np.empty((2, 0)), np.empty(0))
 
 
 class TestVectorSimilarity:

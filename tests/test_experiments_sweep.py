@@ -1,0 +1,292 @@
+"""Tests for repro.experiments.sweep — the replication-sweep harness.
+
+Tier-1 friendly: every sweep here uses 2 seeds, a tiny GA config and
+``max_workers=1`` (the sequential in-process fallback), so the suite
+never forks and stays inside the seed runtime envelope.  The
+process-pool path and the >= 3-seed acceptance check live in
+``benchmarks/test_sweep_throughput.py``.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.ga import GAConfig
+from repro.experiments.config import RunSettings
+from repro.experiments.fig7 import frisky_makespan_sweep
+from repro.experiments.fig8 import nas_ensemble, nas_experiment
+from repro.experiments.fig10 import psa_scaling_ensemble
+from repro.experiments.runner import run_lineup, scale_jobs
+from repro.experiments.sweep import (
+    SWEEP_METRICS,
+    MetricSummary,
+    ScenarioVariant,
+    job_scaling_variants,
+    lambda_variants,
+    parallel_map,
+    run_sweep,
+    seed_list,
+)
+from repro.workloads.psa import PSAConfig, psa_scenario
+
+#: tiny GA so STGA batches cost milliseconds
+TINY = RunSettings(
+    ga=GAConfig(population_size=16, generations=4, flow_weight=1.0)
+)
+
+
+def tiny_sweep(variants, seeds=(1, 2), **kw):
+    kw.setdefault("settings", TINY)
+    kw.setdefault("scale", 0.1)
+    kw.setdefault("max_workers", 1)
+    return run_sweep(variants, seeds, **kw)
+
+
+class TestScenarioVariant:
+    def test_workload_validated(self):
+        with pytest.raises(ValueError, match="workload"):
+            ScenarioVariant(name="x", workload="trace")
+
+    def test_psa_only_knobs_rejected_for_nas(self):
+        with pytest.raises(ValueError, match="PSA-only"):
+            ScenarioVariant(name="x", workload="nas", n_sites=4)
+
+    def test_job_count_validated(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            ScenarioVariant(name="x", n_jobs=0)
+        with pytest.raises(ValueError, match="n_training_jobs"):
+            ScenarioVariant(name="x", n_training_jobs=-1)
+
+    def test_settings_overrides(self):
+        v = ScenarioVariant(name="x", lam=1.5, batch_interval=250.0)
+        s = v.settings_for(TINY, seed=42)
+        assert (s.seed, s.lam, s.batch_interval) == (42, 1.5, 250.0)
+        # unset overrides keep the base values
+        s2 = ScenarioVariant(name="y").settings_for(TINY, seed=7)
+        assert s2.lam == TINY.lam and s2.batch_interval == TINY.batch_interval
+
+    def test_build_scenarios_grid_and_arrivals(self):
+        v = ScenarioVariant(
+            name="x", n_jobs=200, n_sites=5, arrival_rate=0.1,
+            n_training_jobs=0,
+        )
+        scenario, training = v.build_scenarios(seed=0, scale=0.5)
+        assert training is None
+        assert scenario.grid.n_sites == 5
+        assert scenario.n_jobs == scale_jobs(200, 0.5)
+
+    def test_training_stream_inherits_psa_overrides(self):
+        v = ScenarioVariant(
+            name="x", n_jobs=200, arrival_rate=0.1, n_training_jobs=200
+        )
+        scenario, training = v.build_scenarios(seed=0, scale=0.5)
+        assert training is not None
+        # same arrival intensity: spans are comparable, not ~12x apart
+        # as the 0.008 default would make them
+        assert training.span < scenario.span * 3
+
+    def test_variant_factories(self):
+        vs = job_scaling_variants([100, 200])
+        assert [v.n_jobs for v in vs] == [100, 200]
+        assert len({v.name for v in vs}) == 2
+        ls = lambda_variants([1.0, 3.0])
+        assert [v.lam for v in ls] == [1.0, 3.0]
+
+    def test_seed_list(self):
+        assert seed_list(3, base_seed=10) == (10, 11, 12)
+        with pytest.raises(ValueError):
+            seed_list(0)
+
+
+class TestMetricSummary:
+    def test_stats(self):
+        s = MetricSummary(metric="makespan", values=(1.0, 2.0, 3.0))
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)  # ddof=1
+        assert s.ci95 == pytest.approx(1.96 * 1.0 / np.sqrt(3))
+
+    def test_single_value(self):
+        s = MetricSummary(metric="makespan", values=(5.0,))
+        assert s.std == 0.0 and s.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSummary(metric="makespan", values=())
+
+    def test_str_shows_mean_and_std(self):
+        assert "±" in str(MetricSummary(metric="m", values=(1.0, 2.0)))
+
+
+class TestRunSweep:
+    def test_input_validation(self):
+        v = ScenarioVariant(name="x")
+        with pytest.raises(ValueError, match="variant"):
+            run_sweep([], [1])
+        with pytest.raises(ValueError, match="seed"):
+            run_sweep([v], [])
+        with pytest.raises(ValueError, match="distinct"):
+            run_sweep([v], [1, 1])
+        with pytest.raises(ValueError, match="distinct"):
+            run_sweep([v, v], [1])
+
+    def test_grid_shape_and_metrics(self):
+        variants = job_scaling_variants([60, 120], n_training_jobs=60)
+        res = tiny_sweep(variants)
+        assert res.seeds == (1, 2)
+        assert len(res.schedulers()) == 7  # 6 heuristics + STGA
+        for v in variants:
+            for sched in res.schedulers():
+                assert len(res.cell(v.name, sched)) == 2
+                for metric in SWEEP_METRICS:
+                    s = res.summary(v.name, sched, metric)
+                    assert s.n == 2 and np.isfinite(s.mean)
+
+    def test_per_seed_identical_to_sequential_run_lineup(self):
+        """The determinism contract: sweep cells reproduce direct
+        run_lineup calls with the same RngFactory streams."""
+        scale, n, n_train, seeds = 0.1, 60, 60, (3, 5)
+        res = tiny_sweep(
+            job_scaling_variants([n], n_training_jobs=n_train), seeds=seeds
+        )
+        vname = res.variants[0].name
+        for i, seed in enumerate(seeds):
+            scenario = psa_scenario(
+                PSAConfig(n_jobs=scale_jobs(n, scale)), rng=seed
+            )
+            training = psa_scenario(
+                PSAConfig(n_jobs=scale_jobs(n_train, scale)), rng=seed + 7919
+            )
+            direct = run_lineup(scenario, training, replace(TINY, seed=seed))
+            for rep in direct:
+                got = res.cell(vname, rep.scheduler)[i]
+                assert got.makespan == rep.makespan
+                assert got.avg_response_time == rep.avg_response_time
+                assert got.n_fail == rep.n_fail
+                assert got.n_risk == rep.n_risk
+
+    def test_defaults_forwarded_to_lineup(self):
+        """PaperDefaults overrides (e.g. f_risky) must reach the
+        workers' run_lineup calls, not be silently dropped."""
+        from repro.experiments.config import PaperDefaults
+
+        res = tiny_sweep(
+            [ScenarioVariant(name="x", n_jobs=60, n_training_jobs=0)],
+            include_stga=False,
+            defaults=PaperDefaults(f_risky=0.3),
+        )
+        assert "Min-Min f-Risky(f=0.3)" in res.schedulers()
+
+    def test_without_stga(self):
+        res = tiny_sweep(
+            [ScenarioVariant(name="x", n_jobs=60, n_training_jobs=0)],
+            include_stga=False,
+        )
+        assert "STGA" not in res.schedulers()
+
+    def test_render_contains_error_bars(self):
+        res = tiny_sweep(
+            [ScenarioVariant(name="tiny", n_jobs=60, n_training_jobs=0)],
+            include_stga=False,
+        )
+        out = res.render("makespan")
+        assert "tiny" in out and "±" in out
+        grid = res.summary_grid("makespan")
+        assert set(grid) == {"tiny"}
+
+    def test_per_seed_lineups_shape(self):
+        res = tiny_sweep(
+            [ScenarioVariant(name="x", n_jobs=60, n_training_jobs=0)],
+            include_stga=False,
+        )
+        lineups = res.per_seed_lineups("x")
+        assert len(lineups) == 2  # one list per seed
+        for i, lineup in enumerate(lineups):
+            assert [r.scheduler for r in lineup] == list(res.schedulers())
+            for rep in lineup:
+                assert rep is res.cell("x", rep.scheduler)[i]
+
+    def test_unknown_metric_raises(self):
+        res = tiny_sweep(
+            [ScenarioVariant(name="x", n_jobs=60, n_training_jobs=0)],
+            include_stga=False,
+        )
+        with pytest.raises(AttributeError):
+            res.summary("x", res.schedulers()[0], "not_a_metric")
+
+
+class TestParallelMap:
+    def test_sequential_fallback(self):
+        assert parallel_map(abs, [-1, -2, -3], max_workers=1) == [1, 2, 3]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            parallel_map(abs, [1], max_workers=0)
+
+    def test_single_item_never_forks(self):
+        # max_workers > 1 with one item must take the in-process path
+        assert parallel_map(abs, [-7], max_workers=8) == [7]
+
+    def test_empty_items(self):
+        assert parallel_map(abs, []) == []
+        assert parallel_map(abs, [], max_workers=4) == []
+
+
+class TestFigureDriverWiring:
+    def test_fig7a_error_bars(self):
+        res = frisky_makespan_sweep(
+            n_jobs=60,
+            scale=0.1,
+            f_values=(0.0, 0.5, 1.0),
+            settings=TINY,
+            seeds=(1, 2),
+            max_workers=1,
+        )
+        assert res.n_seeds == 2
+        assert res.minmin_std is not None and res.minmin_std.shape == (3,)
+        assert (res.minmin_std >= 0).all()
+        assert "±" in res.render() and "2 seeds" in res.render()
+
+    def test_fig7a_single_seed_unchanged(self):
+        res = frisky_makespan_sweep(
+            n_jobs=60, scale=0.1, f_values=(0.0, 1.0), settings=TINY
+        )
+        assert res.minmin_std is None and "±" not in res.render()
+
+    def test_fig7a_mean_matches_manual_average(self):
+        kw = dict(n_jobs=60, scale=0.1, f_values=(0.0, 1.0), settings=TINY)
+        per_seed = [
+            frisky_makespan_sweep(
+                **{**kw, "settings": replace(TINY, seed=s)}
+            ).minmin_makespan
+            for s in (1, 2)
+        ]
+        ens = frisky_makespan_sweep(**kw, seeds=(1, 2), max_workers=1)
+        np.testing.assert_allclose(
+            ens.minmin_makespan, np.mean(per_seed, axis=0)
+        )
+
+    def test_nas_ensemble_matches_nas_experiment_per_seed(self):
+        seeds = (1, 2)
+        res = nas_ensemble(seeds, scale=0.002, settings=TINY, max_workers=1)
+        vname = res.variants[0].name
+        for i, seed in enumerate(seeds):
+            direct = nas_experiment(
+                scale=0.002, settings=replace(TINY, seed=seed)
+            )
+            for rep in direct.reports:
+                got = res.cell(vname, rep.scheduler)[i]
+                assert got.makespan == rep.makespan
+                assert got.n_fail == rep.n_fail
+
+    def test_psa_scaling_ensemble_variants(self):
+        res = psa_scaling_ensemble(
+            (1, 2),
+            n_values=(60, 120),
+            scale=0.1,
+            settings=TINY,
+            max_workers=1,
+        )
+        assert [v.n_jobs for v in res.variants] == [60, 120]
+        assert "±" in res.render("avg_response_time")

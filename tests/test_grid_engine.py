@@ -127,6 +127,78 @@ class TestBasicExecution:
         with pytest.raises(ValueError, match="site index"):
             sim.run(make_jobs([1.0]))
 
+    def test_order_referencing_unassigned_job_rejected(self):
+        """Regression: an order entry pointing at an unassigned job
+        used to dispatch its -1 site index, which numpy resolved to
+        the *last* site.  The engine must reject it instead."""
+        from types import SimpleNamespace
+
+        class Bad:
+            # Duck-typed result bypasses ScheduleResult's own checks —
+            # exactly what a buggy third-party scheduler would do.
+            name = "bad"
+
+            def schedule(self, batch):
+                assignment = np.full(batch.n_jobs, -1, dtype=int)
+                assignment[0] = 0
+                return SimpleNamespace(
+                    assignment=assignment,
+                    order=np.arange(batch.n_jobs),  # includes unassigned
+                )
+
+        grid = Grid.from_arrays([2.0, 1.0], [0.95, 0.9])
+        sim = GridSimulator(grid, Bad(), rng=0)
+        with pytest.raises(ValueError, match="permutation of the assigned"):
+            sim.run(make_jobs([1.0, 1.0]))
+
+    def test_order_with_duplicates_rejected(self, one_site_grid):
+        from types import SimpleNamespace
+
+        class Bad:
+            name = "bad"
+
+            def schedule(self, batch):
+                return SimpleNamespace(
+                    assignment=np.zeros(batch.n_jobs, dtype=int),
+                    order=np.zeros(batch.n_jobs, dtype=int),  # job 0 repeated
+                )
+
+        sim = GridSimulator(one_site_grid, Bad(), rng=0)
+        with pytest.raises(ValueError, match="permutation of the assigned"):
+            sim.run(make_jobs([1.0, 1.0]))
+
+    def test_order_omitting_assigned_job_rejected(self, one_site_grid):
+        from types import SimpleNamespace
+
+        class Bad:
+            name = "bad"
+
+            def schedule(self, batch):
+                return SimpleNamespace(
+                    assignment=np.zeros(batch.n_jobs, dtype=int),
+                    order=np.arange(batch.n_jobs - 1),  # last job stranded
+                )
+
+        sim = GridSimulator(one_site_grid, Bad(), rng=0)
+        with pytest.raises(ValueError, match="permutation of the assigned"):
+            sim.run(make_jobs([1.0, 1.0]))
+
+    def test_assignment_below_minus_one_rejected(self, one_site_grid):
+        from types import SimpleNamespace
+
+        class Bad:
+            name = "bad"
+
+            def schedule(self, batch):
+                return SimpleNamespace(
+                    assignment=np.full(batch.n_jobs, -2, dtype=int),
+                    order=np.empty(0, dtype=int),
+                )
+
+        sim = GridSimulator(one_site_grid, Bad(), rng=0)
+        with pytest.raises(ValueError, match="below -1"):
+            sim.run(make_jobs([1.0]))
+
     def test_constructor_validation(self, one_site_grid):
         with pytest.raises(TypeError, match="schedule"):
             GridSimulator(one_site_grid, object())

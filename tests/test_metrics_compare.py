@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.metrics.compare import compare_to_reference, render_comparison
+from repro.metrics.compare import (
+    compare_ensemble,
+    compare_to_reference,
+    render_comparison,
+    render_ensemble_comparison,
+)
 from repro.metrics.report import PerformanceReport
 
 
@@ -76,3 +81,46 @@ class TestCompare:
         reps = [report("STGA", 100.0, 10.0), report("A", 130.0, 20.0)]
         out = render_comparison(compare_to_reference(reps))
         assert "alpha" in out and "STGA" in out and "1st" in out
+
+
+class TestCompareEnsemble:
+    def test_mean_and_std_across_seeds(self):
+        per_seed = [
+            [report("STGA", 100.0, 10.0), report("A", 120.0, 20.0)],
+            [report("STGA", 100.0, 10.0), report("A", 140.0, 30.0)],
+        ]
+        rows = {r.scheduler: r for r in compare_ensemble(per_seed)}
+        a = rows["A"]
+        assert a.n_seeds == 2
+        assert a.alpha_mean == pytest.approx(np.mean([1.2, 1.4]))
+        assert a.alpha_std == pytest.approx(np.std([1.2, 1.4], ddof=1))
+        assert a.beta_mean == pytest.approx(np.mean([2.0, 3.0]))
+        stga = rows["STGA"]
+        assert stga.alpha_mean == 1.0 and stga.alpha_std == 0.0
+        assert stga.rank == 1 and a.rank == 2
+
+    def test_single_seed_zero_std(self):
+        rows = compare_ensemble(
+            [[report("STGA", 100.0, 10.0), report("A", 130.0, 20.0)]]
+        )
+        assert all(r.alpha_std == 0.0 and r.beta_std == 0.0 for r in rows)
+
+    def test_mismatched_lineups_rejected(self):
+        per_seed = [
+            [report("STGA", 100.0, 10.0), report("A", 130.0, 20.0)],
+            [report("STGA", 100.0, 10.0), report("B", 130.0, 20.0)],
+        ]
+        with pytest.raises(ValueError, match="lineup"):
+            compare_ensemble(per_seed)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="replication"):
+            compare_ensemble([])
+
+    def test_render(self):
+        per_seed = [
+            [report("STGA", 100.0, 10.0), report("A", 120.0, 20.0)],
+            [report("STGA", 100.0, 10.0), report("A", 140.0, 30.0)],
+        ]
+        out = render_ensemble_comparison(compare_ensemble(per_seed))
+        assert "±" in out and "2 seeds" in out and "STGA" in out
