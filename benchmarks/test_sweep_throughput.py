@@ -23,6 +23,7 @@ from repro.experiments.sweep import (
     run_sweep,
     seed_list,
 )
+from repro.util.stats import t_critical
 from repro.workloads.psa import PSAConfig, psa_scenario
 
 SEEDS = seed_list(3, base_seed=11)  # >= 3 seeds per the acceptance bar
@@ -109,7 +110,7 @@ def test_sweep_summaries_are_finite_and_ordered():
             s = res.summary(v.name, sched, "makespan")
             assert s.n == len(SEEDS)
             assert np.isfinite(s.mean) and s.std >= 0
-            assert s.ci95 == 1.96 * s.std / np.sqrt(s.n)
+            assert s.ci95 == t_critical(s.n - 1) * s.std / np.sqrt(s.n)
     # more jobs -> larger mean makespan for every scheduler
     for sched in res.schedulers():
         small = res.summary(variants[0].name, sched, "makespan").mean

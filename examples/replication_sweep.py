@@ -8,6 +8,10 @@ N-seed x M-variant sweep fanned out over a process pool, then prints
 1. the Figure 10 job-count scaling panels as mean ± std series,
 2. Table 2 (alpha/beta vs STGA) aggregated over the seed ensemble,
 3. the Figure 7(a) risk-level sweep with per-f error bars,
+4. a run-store demo: the sweep persisted to ``runs/`` (JSON + CSV),
+   reloaded, and self-compared with ``compare_runs`` — the loop that
+   makes cross-revision regressions visible (``repro-grid compare-runs
+   A B`` does the same between two stored runs),
 
 so "STGA wins" claims come with the spread that supports them.
 
@@ -19,12 +23,22 @@ import sys
 
 from repro.experiments.config import RunSettings
 from repro.experiments.fig7 import frisky_makespan_sweep
+from repro.experiments.store import (
+    compare_runs,
+    list_runs,
+    load_run,
+    save_run_to_registry,
+)
 from repro.experiments.sweep import (
     job_scaling_variants,
     run_sweep,
     seed_list,
 )
-from repro.metrics.compare import compare_ensemble, render_ensemble_comparison
+from repro.metrics.compare import (
+    compare_ensemble,
+    render_ensemble_comparison,
+    render_run_diff,
+)
 
 
 def main(
@@ -65,6 +79,22 @@ def main(
     print(fig7.render())
     print(f"best f (ensemble mean): Min-Min {fig7.best_f('minmin')}, "
           f"Sufferage {fig7.best_f('sufferage')} (paper: 0.5-0.6)")
+    print()
+
+    print("=== Run store: persist, reload, self-compare ===")
+    run_dir = save_run_to_registry(result, root="runs", name="fig10-demo")
+    stored = load_run(run_dir)
+    assert stored.result.summary_grid("makespan") == result.summary_grid(
+        "makespan"
+    ), "reloaded summaries must be bit-identical"
+    print(f"saved {stored} (git {stored.git_sha or 'n/a'})")
+    rows = compare_runs(stored, result)
+    print(render_run_diff(
+        [r for r in rows if r.metric == "makespan"],
+        title="Self-diff sanity check (every verdict should be 'same')",
+    ))
+    print(f"registry now holds {len(list_runs('runs'))} run(s); diff a "
+          "pair with: repro-grid compare-runs <A> <B>")
 
 
 if __name__ == "__main__":

@@ -10,9 +10,14 @@ Examples
     repro-grid fig10 --scale 0.02
     repro-grid ablation --scale 0.05
     repro-grid sweep --scale 0.01 --sweep-seeds 5 --sweep-jobs 1000,2000
+    repro-grid sweep --out runs/baseline
+    repro-grid compare-runs runs/baseline runs/tuned
 
 ``--scale 1.0`` runs the paper-size experiments (minutes of CPU time);
 the default is a fast scaled-down run with identical distributions.
+``sweep --out DIR`` persists the run (see
+:mod:`repro.experiments.store`); ``compare-runs A B`` diffs two stored
+runs per (variant, scheduler, metric) cell.
 """
 
 from __future__ import annotations
@@ -26,13 +31,18 @@ from repro.experiments.fig7 import frisky_makespan_sweep, stga_iteration_sweep
 from repro.experiments.fig8 import nas_experiment
 from repro.experiments.fig9 import utilization_panels
 from repro.experiments.fig10 import psa_scaling_experiment
+from repro.experiments.store import compare_runs, save_run
 from repro.experiments.sweep import (
     job_scaling_variants,
     run_sweep,
     seed_list,
 )
 from repro.experiments.table2 import render_table2
-from repro.metrics.compare import compare_ensemble, render_ensemble_comparison
+from repro.metrics.compare import (
+    compare_ensemble,
+    render_ensemble_comparison,
+    render_run_diff,
+)
 from repro.util.tables import render_table
 
 __all__ = ["main", "build_parser"]
@@ -59,8 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
             "table2",
             "ablation",
             "sweep",
+            "compare-runs",
         ],
-        help="which paper artifact to regenerate",
+        help="which paper artifact to regenerate (or compare stored runs)",
+    )
+    parser.add_argument(
+        "runs",
+        nargs="*",
+        metavar="RUN_DIR",
+        help="compare-runs only: exactly two stored run directories",
     )
     parser.add_argument(
         "--scale",
@@ -106,12 +123,59 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-pool size (default: one per CPU; 1 = sequential)",
     )
+    sweep.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist the sweep as a run record at DIR "
+            "(run.json + grid.csv; overwrites an existing record)"
+        ),
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "compare-runs":
+        if len(args.runs) != 2:
+            print(
+                "compare-runs needs exactly two run directories, got "
+                f"{len(args.runs)}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            rows = compare_runs(args.runs[0], args.runs[1])
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        except KeyError as exc:
+            # a parseable run.json missing expected record keys
+            print(f"malformed run record: missing {exc}", file=sys.stderr)
+            return 2
+        print(render_run_diff(
+            rows, title=f"Run diff: {args.runs[0]} vs {args.runs[1]}"
+        ))
+        diverged = sum(r.verdict == "diverged" for r in rows)
+        unchanged = sum(r.verdict == "same" for r in rows)
+        print(
+            f"\n{len(rows)} cells: {unchanged} same, "
+            f"{len(rows) - unchanged - diverged} within CI overlap, "
+            f"{diverged} diverged"
+        )
+        return 0
+    if args.runs:
+        print(
+            "positional run directories only apply to compare-runs",
+            file=sys.stderr,
+        )
+        return 2
+    if args.out is not None and args.experiment != "sweep":
+        print("--out only applies to the sweep experiment", file=sys.stderr)
+        return 2
     if not (0 < args.scale <= 1.0):
         print(f"--scale must be in (0, 1], got {args.scale}", file=sys.stderr)
         return 2
@@ -176,6 +240,9 @@ def main(argv: list[str] | None = None) -> int:
         print(render_ensemble_comparison(
             rows, title=f"Table 2 over the sweep ensemble ({last})"
         ))
+        if args.out:
+            run_dir = save_run(res, args.out, overwrite=True)
+            print(f"\nsaved run record to {run_dir}")
     elif args.experiment == "fig10":
         res = psa_scaling_experiment(scale=args.scale, settings=settings)
         for metric in ("makespan", "avg_response", "slowdown", "n_fail"):

@@ -43,6 +43,15 @@ from repro.experiments.sweep import (
     seed_list,
 )
 from repro.experiments.report import generate_report
+from repro.experiments.store import (
+    StoredRun,
+    compare_runs,
+    list_runs,
+    load_run,
+    new_run_dir,
+    save_run,
+    save_run_to_registry,
+)
 from repro.experiments.sensitivity import (
     batch_interval_sweep,
     estimation_error_sweep,
@@ -100,4 +109,11 @@ __all__ = [
     "generate_report",
     "batch_interval_sweep",
     "estimation_error_sweep",
+    "StoredRun",
+    "save_run",
+    "save_run_to_registry",
+    "load_run",
+    "list_runs",
+    "compare_runs",
+    "new_run_dir",
 ]

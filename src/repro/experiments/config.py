@@ -89,9 +89,22 @@ class RunSettings:
 
         The sweep harness uses this to layer per-variant engine
         overrides (λ, batch interval) and the per-replication seed on
-        top of shared base settings.
+        top of shared base settings.  The special ``ga_overrides``
+        key takes a dict of :class:`~repro.core.ga.GAConfig` field
+        overrides applied on top of the (possibly also overridden)
+        ``ga`` config, so a variant can tweak e.g. ``generations``
+        without restating the whole GA configuration.
         """
         kwargs = {k: v for k, v in overrides.items() if v is not None}
+        ga_overrides = kwargs.pop("ga_overrides", None)
+        if ga_overrides:
+            # None-valued entries mean "keep the base value", matching
+            # the outer overrides' contract
+            ga_kwargs = {
+                k: v for k, v in dict(ga_overrides).items() if v is not None
+            }
+            if ga_kwargs:
+                kwargs["ga"] = replace(kwargs.get("ga", self.ga), **ga_kwargs)
         return replace(self, **kwargs) if kwargs else self
 
 

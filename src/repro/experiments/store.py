@@ -1,0 +1,372 @@
+"""Run store: persist sweep results for cross-run comparison.
+
+Every :class:`~repro.experiments.sweep.SweepResult` used to die at
+process exit, so perf/quality regressions between code revisions were
+invisible.  This module serializes a sweep to a versioned on-disk run
+record, reloads it losslessly, and diffs two stored runs per
+(variant, scheduler, metric) cell with mean-shift and CI-overlap
+verdicts — the same experiment-store + report-generator loop benchmark
+harnesses like FuzzBench close.
+
+Registry layout
+---------------
+A *registry* is any directory of run records; :func:`new_run_dir`
+names records ``<root>/<UTC timestamp>-<name>/`` so a plain ``ls``
+sorts chronologically::
+
+    runs/
+      20260728T093102Z-baseline/
+        run.json     # the authoritative record (schema below)
+        grid.csv     # flat per-seed export for pandas/spreadsheets
+      20260728T110542Z-tuned-ga/
+        ...
+
+``repro-grid sweep --out DIR`` writes a record at exactly ``DIR``;
+``repro-grid compare-runs A B`` diffs two records.
+
+run.json schema (``schema_version`` 1)
+--------------------------------------
+::
+
+    {
+      "schema_version": 1,
+      "name":            str,          # record label
+      "created_at":      str,          # ISO-8601 UTC wall-clock
+      "git_sha":         str | null,   # HEAD at save time, if a repo
+      "elapsed_seconds": float | null, # sweep wall-clock time
+      "scale":           float,        # workload scale factor
+      "seeds":           [int, ...],   # replication seeds, in order
+      "settings": {                    # shared base RunSettings | null
+        "batch_interval": float, "lam": float, "failure_point": str,
+        "fallback": str, "seed": int,
+        "ga": {<GAConfig fields>}
+      },
+      "variants": [                    # ScenarioVariant provenance
+        {"name": str, "workload": "psa"|"nas", "n_jobs": int,
+         "n_sites": int|null, "arrival_rate": float|null,
+         "lam": float|null, "batch_interval": float|null,
+         "n_training_jobs": int,
+         "ga_overrides": [[<GAConfig field>, value], ...] | null}, ...
+      ],
+      "reports": {                     # grid of per-seed raw values
+        <variant name>: {
+          <scheduler name>: [<PerformanceReport.to_dict()>, ...]
+          #                  one entry per seed, in ``seeds`` order
+        }, ...
+      }
+    }
+
+Floats are serialized with ``repr`` round-tripping (the ``json``
+module's default), so a reloaded run's summaries are *bit-identical*
+to the in-memory ones.  ``grid.csv`` is a denormalized convenience
+export (one row per variant x scheduler x seed, scalar report fields
+only); ``run.json`` is the record of truth and the only file
+:func:`load_run` reads.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import subprocess
+from dataclasses import asdict, dataclass, fields
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.ga import GAConfig
+from repro.experiments.config import RunSettings
+from repro.experiments.sweep import (
+    SWEEP_METRICS,
+    ScenarioVariant,
+    SweepResult,
+)
+from repro.metrics.compare import RunDiffRow
+from repro.metrics.report import PerformanceReport
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "StoredRun",
+    "new_run_dir",
+    "save_run",
+    "save_run_to_registry",
+    "load_run",
+    "list_runs",
+    "compare_runs",
+]
+
+SCHEMA_VERSION = 1
+
+#: file names inside one run record
+RUN_JSON = "run.json"
+GRID_CSV = "grid.csv"
+
+#: scalar PerformanceReport fields exported to grid.csv, in order
+#: (scheduler is already a key column; the utilization array stays
+#: JSON-only, its grid-wide mean is exported instead)
+_CSV_REPORT_FIELDS = tuple(
+    f.name
+    for f in fields(PerformanceReport)
+    if f.name not in ("scheduler", "site_utilization")
+)
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One reloaded run record: metadata plus the sweep itself."""
+
+    path: Path
+    name: str
+    created_at: str
+    git_sha: str | None
+    schema_version: int
+    result: SweepResult
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path.name}: {len(self.result.variants)} variant(s) x "
+            f"{len(self.result.seeds)} seed(s), saved {self.created_at}"
+        )
+
+
+def _git_sha() -> str | None:
+    """HEAD commit of the working directory's repo, or None."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _settings_to_dict(settings: RunSettings | None) -> dict | None:
+    return None if settings is None else asdict(settings)
+
+
+def _settings_from_dict(data: dict | None) -> RunSettings | None:
+    if data is None:
+        return None
+    kwargs = dict(data)
+    kwargs["ga"] = GAConfig(**kwargs["ga"])
+    return RunSettings(**kwargs)
+
+
+def new_run_dir(root: str | Path, name: str = "sweep") -> Path:
+    """Fresh registry path ``<root>/<UTC timestamp>-<name>`` (not created)."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    return Path(root) / f"{stamp}-{name}"
+
+
+def save_run(
+    result: SweepResult,
+    run_dir: str | Path,
+    *,
+    name: str | None = None,
+    overwrite: bool = False,
+) -> Path:
+    """Write one run record (``run.json`` + ``grid.csv``) at ``run_dir``.
+
+    The directory is created (parents included).  An existing record
+    is only replaced with ``overwrite=True``; ``name`` defaults to the
+    directory's base name.  Returns the record path.
+    """
+    run_dir = Path(run_dir)
+    record = run_dir / RUN_JSON
+    if record.exists() and not overwrite:
+        raise FileExistsError(
+            f"{record} already holds a run record (pass overwrite=True)"
+        )
+    run_dir.mkdir(parents=True, exist_ok=True)
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "name": name if name is not None else run_dir.name,
+        "created_at": datetime.now(timezone.utc).isoformat(),
+        "git_sha": _git_sha(),
+        "elapsed_seconds": result.elapsed_seconds,
+        "scale": result.scale,
+        "seeds": list(result.seeds),
+        "settings": _settings_to_dict(result.settings),
+        "variants": [asdict(v) for v in result.variants],
+        "reports": {
+            vname: {
+                sched: [rep.to_dict() for rep in reps]
+                for sched, reps in per_sched.items()
+            }
+            for vname, per_sched in result.reports.items()
+        },
+    }
+    with record.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    _write_grid_csv(result, run_dir / GRID_CSV)
+    return run_dir
+
+
+def _write_grid_csv(result: SweepResult, path: Path) -> None:
+    """Flat per-seed export: one row per (variant, scheduler, seed)."""
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ("variant", "scheduler", "seed")
+            + _CSV_REPORT_FIELDS
+            + ("mean_utilization",)
+        )
+        for variant in result.variants:
+            for sched in result.schedulers():
+                for seed, rep in zip(
+                    result.seeds, result.cell(variant.name, sched)
+                ):
+                    writer.writerow(
+                        [variant.name, sched, seed]
+                        + [getattr(rep, f) for f in _CSV_REPORT_FIELDS]
+                        + [rep.mean_utilization]
+                    )
+
+
+def save_run_to_registry(
+    result: SweepResult, root: str | Path = "runs", name: str = "sweep"
+) -> Path:
+    """Save under a fresh timestamped directory in registry ``root``.
+
+    The timestamp has seconds resolution, so back-to-back saves of the
+    same name can land on the same path; a numeric suffix keeps each
+    record distinct instead of tripping save_run's overwrite guard.
+    """
+    run_dir = new_run_dir(root, name)
+    candidate = run_dir
+    counter = 2
+    while (candidate / RUN_JSON).exists():
+        candidate = run_dir.with_name(f"{run_dir.name}-{counter}")
+        counter += 1
+    return save_run(result, candidate, name=name)
+
+
+def load_run(run_dir: str | Path) -> StoredRun:
+    """Reload a run record; the sweep round-trips bit-identically."""
+    run_dir = Path(run_dir)
+    record = run_dir / RUN_JSON
+    if not record.is_file():
+        raise FileNotFoundError(f"no run record at {record}")
+    with record.open("r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{record}: unsupported schema_version {version!r} "
+            f"(this reader supports {SCHEMA_VERSION})"
+        )
+    result = SweepResult(
+        variants=tuple(
+            ScenarioVariant(**v) for v in payload["variants"]
+        ),
+        seeds=tuple(int(s) for s in payload["seeds"]),
+        reports={
+            vname: {
+                sched: tuple(
+                    PerformanceReport.from_dict(d) for d in reps
+                )
+                for sched, reps in per_sched.items()
+            }
+            for vname, per_sched in payload["reports"].items()
+        },
+        settings=_settings_from_dict(payload.get("settings")),
+        scale=payload.get("scale", 1.0),
+        elapsed_seconds=payload.get("elapsed_seconds"),
+    )
+    return StoredRun(
+        path=run_dir,
+        name=payload["name"],
+        created_at=payload["created_at"],
+        git_sha=payload.get("git_sha"),
+        schema_version=version,
+        result=result,
+    )
+
+
+def list_runs(root: str | Path = "runs") -> list[StoredRun]:
+    """All run records directly under ``root``, oldest first.
+
+    Sorted by recorded ``created_at`` (directory names from
+    :func:`new_run_dir` agree with that order).  A missing registry
+    directory is an empty registry, not an error.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    runs = [
+        load_run(child)
+        for child in sorted(root.iterdir())
+        if (child / RUN_JSON).is_file()
+    ]
+    return sorted(runs, key=lambda run: run.created_at)
+
+
+def _as_result(run) -> SweepResult:
+    if isinstance(run, SweepResult):
+        return run
+    if isinstance(run, StoredRun):
+        return run.result
+    return load_run(run).result
+
+
+def compare_runs(
+    run_a,
+    run_b,
+    *,
+    metrics: tuple[str, ...] = SWEEP_METRICS,
+) -> list[RunDiffRow]:
+    """Diff two runs per (variant, scheduler, metric) cell.
+
+    ``run_a`` / ``run_b`` may be record paths, :class:`StoredRun` or
+    in-memory :class:`SweepResult` objects.  Cells present in both
+    runs are compared (in run A's order): each side is summarised to
+    mean ± Student-t 95 %-CI across its seeds, and the verdict is
+
+    * ``"same"``      — identical per-seed values;
+    * ``"overlap"``   — the two CIs overlap (shift within noise);
+    * ``"diverged"``  — disjoint CIs, a statistically visible shift.
+
+    Raises if the runs share no (variant, scheduler) cell at all.
+    """
+    a = _as_result(run_a)
+    b = _as_result(run_b)
+    rows: list[RunDiffRow] = []
+    for variant in a.variants:
+        if variant.name not in b.reports:
+            continue
+        for sched in a.schedulers():
+            if sched not in b.reports[variant.name]:
+                continue
+            for metric in metrics:
+                sa = a.summary(variant.name, sched, metric)
+                sb = b.summary(variant.name, sched, metric)
+                if sa.values == sb.values:
+                    verdict = "same"
+                elif abs(sb.mean - sa.mean) <= sa.ci95 + sb.ci95:
+                    verdict = "overlap"
+                else:
+                    verdict = "diverged"
+                rows.append(
+                    RunDiffRow(
+                        variant=variant.name,
+                        scheduler=sched,
+                        metric=metric,
+                        mean_a=sa.mean,
+                        ci_a=sa.ci95,
+                        n_a=sa.n,
+                        mean_b=sb.mean,
+                        ci_b=sb.ci95,
+                        n_b=sb.n,
+                        verdict=verdict,
+                    )
+                )
+    if not rows:
+        raise ValueError(
+            "the two runs share no (variant, scheduler) cell to compare"
+        )
+    return rows

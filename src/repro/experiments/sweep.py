@@ -37,18 +37,21 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
+from repro.core.ga import GAConfig
 from repro.experiments.config import PaperDefaults, RunSettings
 from repro.experiments.runner import reports_by_name, run_lineup, scale_jobs
 from repro.metrics.report import PerformanceReport
+from repro.util.stats import t_critical
 from repro.util.tables import render_table
 from repro.workloads.base import Scenario
-from repro.workloads.nas import NASConfig, nas_scenario
+from repro.workloads.nas import NASConfig, nas_scenario, nas_site_plan
 from repro.workloads.psa import PSAConfig, psa_scenario
 
 __all__ = [
@@ -80,13 +83,22 @@ class ScenarioVariant:
 
     A variant pins the workload side (generator, job count, grid
     size, arrival intensity) and any engine overrides (λ, batch
-    interval); the replication seed stays free — the sweep crosses
-    every variant with every seed.
+    interval, GA hyper-parameters); the replication seed stays free —
+    the sweep crosses every variant with every seed.
 
-    ``n_sites`` and ``arrival_rate`` apply to the PSA generator only
-    (the NAS grid layout is the paper's fixed 4x16 + 8x8 site plan);
-    ``None`` keeps the workload default.  ``n_training_jobs`` sizes
-    the STGA warm-up stream (paper: 500); ``0`` skips the warm-up.
+    ``n_sites`` sizes the grid for either workload: the PSA generator
+    directly, NAS via :func:`~repro.workloads.nas.nas_site_plan`
+    (which keeps the paper's 1:2 big:small site ratio, so ``n_sites=12``
+    is the paper's 4x16 + 8x8 plan).  ``arrival_rate`` applies to the
+    PSA generator only (NAS arrivals follow the trace's daily-cycle
+    profile); ``None`` keeps the workload default.  ``n_training_jobs``
+    sizes the STGA warm-up stream (paper: 500); ``0`` skips the
+    warm-up.  ``ga_overrides`` is an optional mapping of
+    :class:`~repro.core.ga.GAConfig` field overrides (e.g.
+    ``{"generations": 50}``) layered onto the base settings' GA config
+    for this variant only; it is normalized to a sorted tuple of
+    ``(field, value)`` pairs so the variant stays hashable and truly
+    immutable (pass a dict or any pair iterable).
     """
 
     name: str
@@ -97,6 +109,7 @@ class ScenarioVariant:
     lam: float | None = None
     batch_interval: float | None = None
     n_training_jobs: int = 500
+    ga_overrides: dict | tuple | None = None
 
     def __post_init__(self) -> None:
         if self.workload not in ("psa", "nas"):
@@ -109,18 +122,33 @@ class ScenarioVariant:
             raise ValueError(
                 f"n_training_jobs must be >= 0, got {self.n_training_jobs}"
             )
-        if self.workload == "nas" and (
-            self.n_sites is not None or self.arrival_rate is not None
-        ):
+        if self.n_sites is not None and self.n_sites < 1:
+            raise ValueError(f"n_sites must be >= 1, got {self.n_sites}")
+        if self.workload == "nas" and self.arrival_rate is not None:
             raise ValueError(
-                "n_sites/arrival_rate are PSA-only knobs (the NAS site "
-                "plan is fixed by the paper)"
+                "arrival_rate is a PSA-only knob (NAS arrivals follow "
+                "the trace's daily-cycle profile); use n_sites for NAS "
+                "grid-layout variants"
+            )
+        if self.ga_overrides is not None:
+            overrides = dict(self.ga_overrides)
+            valid = {f.name for f in fields(GAConfig)}
+            unknown = sorted(set(overrides) - valid)
+            if unknown:
+                raise ValueError(
+                    f"unknown GAConfig fields in ga_overrides: {unknown}"
+                )
+            object.__setattr__(
+                self, "ga_overrides", tuple(sorted(overrides.items()))
             )
 
     def settings_for(self, settings: RunSettings, seed: int) -> RunSettings:
         """Base settings plus this variant's engine overrides and seed."""
         return settings.with_overrides(
-            seed=seed, lam=self.lam, batch_interval=self.batch_interval
+            seed=seed,
+            lam=self.lam,
+            batch_interval=self.batch_interval,
+            ga_overrides=dict(self.ga_overrides) if self.ga_overrides else None,
         )
 
     def build_scenarios(
@@ -158,6 +186,8 @@ class ScenarioVariant:
         # NAS — replicate fig8's squeezed-horizon scaling so a 1-seed
         # sweep reproduces nas_experiment() bit for bit.
         base = NASConfig(n_jobs=self.n_jobs)
+        if self.n_sites is not None:
+            base = replace(base, site_nodes=nas_site_plan(self.n_sites))
         days = max(2, int(round(base.trace_days * scale)))
         scenario = nas_scenario(
             replace(base, n_jobs=n, trace_days=days), rng=seed
@@ -218,10 +248,15 @@ def parallel_map(fn, items, *, max_workers: int | None = None) -> list:
 
 @dataclass(frozen=True)
 class MetricSummary:
-    """Mean / std / 95 %-CI of one metric across replications."""
+    """Mean / std / 95 %-CI of one metric across replications.
 
-    metric: str
-    values: tuple[float, ...]
+    Both fields default so either keyword spelling works
+    (``MetricSummary(values=...)`` or the fully explicit form); an
+    empty replication set is still rejected.
+    """
+
+    metric: str = ""
+    values: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.values:
@@ -245,8 +280,16 @@ class MetricSummary:
 
     @property
     def ci95(self) -> float:
-        """Half-width of the normal-approximation 95 % interval."""
-        return 1.96 * self.std / math.sqrt(self.n)
+        """Half-width of the two-sided Student-t 95 % interval.
+
+        Uses the t critical value at ``n - 1`` degrees of freedom
+        (e.g. 2.776 at the default 5-seed ensembles, not the 1.96
+        normal limit, which understates the interval by ~40 % there);
+        0.0 for a single replication, where the interval is undefined.
+        """
+        if self.n < 2:
+            return 0.0
+        return t_critical(self.n - 1) * self.std / math.sqrt(self.n)
 
     def __str__(self) -> str:
         return f"{self.mean:.6g} ± {self.std:.3g}"
@@ -260,11 +303,19 @@ class SweepResult:
     :class:`PerformanceReport` per seed, in ``seeds`` order — the raw
     material for any downstream statistic; :meth:`summary` and
     :meth:`render` cover the common mean ± std uses.
+
+    ``settings``, ``scale`` and ``elapsed_seconds`` record provenance
+    for the run store (:mod:`repro.experiments.store`): the shared
+    base settings the variants layered their overrides on, the
+    workload scale factor, and the sweep's wall-clock time.
     """
 
     variants: tuple[ScenarioVariant, ...]
     seeds: tuple[int, ...]
     reports: dict[str, dict[str, tuple[PerformanceReport, ...]]]
+    settings: RunSettings | None = None
+    scale: float = 1.0
+    elapsed_seconds: float | None = None
 
     def schedulers(self) -> tuple[str, ...]:
         """Scheduler names, in lineup order."""
@@ -351,15 +402,28 @@ def job_scaling_variants(
 
 
 def lambda_variants(
-    lams: Sequence[float], *, workload: str = "psa", n_jobs: int = 1000
+    lams: Sequence[float],
+    *,
+    workload: str = "psa",
+    n_jobs: int = 1000,
+    n_training_jobs: int | None = None,
+    **overrides,
 ) -> tuple[ScenarioVariant, ...]:
-    """One variant per Eq. 1 failure-rate constant λ."""
+    """One variant per Eq. 1 failure-rate constant λ.
+
+    ``n_training_jobs`` is forwarded like :func:`job_scaling_variants`
+    does (``None`` = Table 1's 500-job warm-up stream).
+    """
+    if n_training_jobs is None:
+        n_training_jobs = PaperDefaults().n_training_jobs
     return tuple(
         ScenarioVariant(
             name=f"{workload.upper()} lam={float(lam):g}",
             workload=workload,
             n_jobs=n_jobs,
             lam=float(lam),
+            n_training_jobs=n_training_jobs,
+            **overrides,
         )
         for lam in lams
     )
@@ -407,7 +471,9 @@ def run_sweep(
         for v in variants
         for s in seeds
     ]
+    started = time.perf_counter()
     outputs = parallel_map(_run_task, tasks, max_workers=max_workers)
+    elapsed = time.perf_counter() - started
 
     reports: dict[str, dict[str, list[PerformanceReport]]] = {}
     for task, lineup_reports in zip(tasks, outputs):
@@ -425,4 +491,11 @@ def run_sweep(
                     f"cell ({vname!r}, {sched_name!r}) collected "
                     f"{len(reps)} reports for {len(seeds)} seeds"
                 )
-    return SweepResult(variants=variants, seeds=seeds, reports=frozen)
+    return SweepResult(
+        variants=variants,
+        seeds=seeds,
+        reports=frozen,
+        settings=settings,
+        scale=scale,
+        elapsed_seconds=elapsed,
+    )

@@ -2,8 +2,10 @@
 
 from repro.metrics.compare import (
     ComparisonRow,
+    RunDiffRow,
     compare_to_reference,
     render_comparison,
+    render_run_diff,
 )
 from repro.metrics.report import PerformanceReport, evaluate
 from repro.metrics.timeseries import (
@@ -18,8 +20,10 @@ __all__ = [
     "PerformanceReport",
     "evaluate",
     "ComparisonRow",
+    "RunDiffRow",
     "compare_to_reference",
     "render_comparison",
+    "render_run_diff",
     "backlog_series",
     "running_series",
     "utilization_series",

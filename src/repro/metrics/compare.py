@@ -24,10 +24,12 @@ from repro.util.tables import render_table
 __all__ = [
     "ComparisonRow",
     "EnsembleComparisonRow",
+    "RunDiffRow",
     "compare_to_reference",
     "compare_ensemble",
     "render_comparison",
     "render_ensemble_comparison",
+    "render_run_diff",
 ]
 
 #: two schedulers whose alpha+beta scores differ by less than this are
@@ -159,6 +161,63 @@ def compare_ensemble(
         )
         for name in names
     ]
+
+
+@dataclass(frozen=True)
+class RunDiffRow:
+    """One (variant, scheduler, metric) cell of a cross-run diff.
+
+    Produced by :func:`repro.experiments.store.compare_runs`; the A/B
+    sides carry the cell's ensemble mean and Student-t 95 %-CI
+    half-width (:attr:`~repro.experiments.sweep.MetricSummary.ci95`).
+    ``verdict`` is one of ``"same"`` (identical per-seed values),
+    ``"overlap"`` (means differ but the CIs overlap) or ``"diverged"``
+    (disjoint CIs — a statistically visible shift).
+    """
+
+    variant: str
+    scheduler: str
+    metric: str
+    mean_a: float
+    ci_a: float
+    n_a: int
+    mean_b: float
+    ci_b: float
+    n_b: int
+    verdict: str  # "same" | "overlap" | "diverged"
+
+    @property
+    def mean_shift(self) -> float:
+        """Signed mean shift, B minus A."""
+        return self.mean_b - self.mean_a
+
+    @property
+    def shift_pct(self) -> float:
+        """Relative mean shift in percent of A (NaN for mean_a = 0)."""
+        if self.mean_a == 0:
+            return 0.0 if self.mean_b == 0 else float("nan")
+        return self.mean_shift / self.mean_a * 100.0
+
+
+def render_run_diff(rows: Sequence[RunDiffRow], *, title: str = "") -> str:
+    """Cross-run diff table in the ensemble-comparison mean ± CI style."""
+    return render_table(
+        ["scenario", "scheduler", "metric", "run A", "run B", "shift_%",
+         "verdict"],
+        [
+            [
+                r.variant,
+                r.scheduler,
+                r.metric,
+                f"{r.mean_a:.6g} ± {r.ci_a:.3g}",
+                f"{r.mean_b:.6g} ± {r.ci_b:.3g}",
+                f"{r.shift_pct:+.3g}",
+                r.verdict,
+            ]
+            for r in rows
+        ],
+        title=title or "Cross-run comparison (mean ± 95% CI per cell)",
+    )
 
 
 def render_comparison(rows: list[ComparisonRow], *, title: str = "") -> str:

@@ -21,7 +21,7 @@ online use).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -30,9 +30,17 @@ from repro.grid.engine import SimulationResult
 __all__ = ["PerformanceReport", "evaluate"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PerformanceReport:
-    """All Section 4.1 metrics for one simulation run."""
+    """All Section 4.1 metrics for one simulation run.
+
+    ``eq=False`` on the decorator: the generated ``__eq__`` would
+    compare the ``site_utilization`` arrays with ``==`` and raise
+    "truth value of an array is ambiguous"; the explicit ``__eq__``
+    below compares that field with :func:`numpy.array_equal` instead.
+    :meth:`to_dict` / :meth:`from_dict` give the run store a lossless
+    JSON-safe round trip (the array becomes a list of floats).
+    """
 
     scheduler: str
     n_jobs: int
@@ -85,6 +93,53 @@ class PerformanceReport:
         "N_fail",
         "util_%",
     )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PerformanceReport):
+            return NotImplemented
+        for f in fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if f.name == "site_utilization":
+                if not np.array_equal(
+                    np.asarray(mine, dtype=float),
+                    np.asarray(theirs, dtype=float),
+                ):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        util = tuple(np.asarray(self.site_utilization, dtype=float).tolist())
+        rest = tuple(
+            getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "site_utilization"
+        )
+        return hash(rest + (util,))
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict: every field scalar, the array a float list."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "site_utilization":
+                value = [float(x) for x in np.asarray(value, dtype=float)]
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerformanceReport":
+        """Inverse of :meth:`to_dict`; extra keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown PerformanceReport fields {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs["site_utilization"] = np.asarray(
+            kwargs["site_utilization"], dtype=float
+        )
+        return cls(**kwargs)
 
 
 def evaluate(result: SimulationResult, scheduler_name: str | None = None):

@@ -40,7 +40,7 @@ from repro.workloads.security import (
     sample_security_levels,
 )
 
-__all__ = ["NASConfig", "nas_scenario", "nas_grid"]
+__all__ = ["NASConfig", "nas_scenario", "nas_grid", "nas_site_plan"]
 
 #: Power-of-two node requests on the 128-node iPSC/860 and their
 #: approximate share of job *counts* per Feitelson & Nitzberg (1994):
@@ -84,6 +84,24 @@ class NASConfig:
             raise ValueError("site_nodes must be non-empty")
         if self.log_rt_hi <= self.log_rt_lo:
             raise ValueError("log_rt_hi must exceed log_rt_lo")
+
+
+def nas_site_plan(
+    n_sites: int, *, big_nodes: int = 16, small_nodes: int = 8
+) -> tuple[int, ...]:
+    """Site-node plan for an ``n_sites`` NAS grid-layout variant.
+
+    The paper's layout is 4 x 16-node + 8 x 8-node sites; this keeps
+    that 1:2 big:small site ratio for any grid size — ``round(n/3)``
+    big sites, the rest small — so ``nas_site_plan(12)`` reproduces
+    the paper plan exactly and other sizes scale the same mix.
+    """
+    if n_sites < 1:
+        raise ValueError(f"n_sites must be >= 1, got {n_sites}")
+    check_positive("big_nodes", big_nodes)
+    check_positive("small_nodes", small_nodes)
+    n_big = round(n_sites / 3)
+    return (big_nodes,) * n_big + (small_nodes,) * (n_sites - n_big)
 
 
 def nas_grid(

@@ -73,3 +73,53 @@ class TestMain:
         assert args.sweep_seeds == 3
         assert args.sweep_workload == "psa"
         assert args.max_workers is None
+        assert args.out is None
+
+    def test_sweep_out_then_compare_runs_self(self, capsys, tmp_path):
+        """The acceptance flow: sweep --out DIR; compare-runs DIR DIR
+        exits 0 with zero mean-shift in every cell."""
+        out_dir = str(tmp_path / "demo")
+        assert main([
+            "sweep", "--scale", "0.002",
+            "--sweep-seeds", "2",
+            "--sweep-jobs", "100",
+            "--max-workers", "1",
+            "--out", out_dir,
+        ]) == 0
+        assert f"saved run record to {out_dir}" in capsys.readouterr().out
+        assert main(["compare-runs", out_dir, out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Run diff" in out
+        assert "diverged" not in out.splitlines()[-1] or "0 diverged" in out
+        assert "0 diverged" in out
+        # every cell reports a zero mean shift
+        from repro.experiments.store import compare_runs
+
+        assert all(r.mean_shift == 0.0 for r in compare_runs(out_dir, out_dir))
+
+    def test_compare_runs_wrong_arity(self, capsys, tmp_path):
+        assert main(["compare-runs", str(tmp_path)]) == 2
+        assert "exactly two" in capsys.readouterr().err
+
+    def test_compare_runs_missing_record(self, capsys, tmp_path):
+        a = str(tmp_path / "a")
+        assert main(["compare-runs", a, a]) == 2
+        assert "run record" in capsys.readouterr().err
+
+    def test_compare_runs_malformed_record(self, capsys, tmp_path):
+        # valid JSON, right schema version, but not a run record —
+        # must exit 2 with a message, not traceback on KeyError
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "run.json").write_text('{"schema_version": 1}')
+        assert main(["compare-runs", str(bad), str(bad)]) == 2
+        assert "malformed run record" in capsys.readouterr().err
+
+    def test_runs_positional_rejected_elsewhere(self, capsys):
+        assert main(["fig8", "runs/x"]) == 2
+        assert "compare-runs" in capsys.readouterr().err
+
+    def test_out_rejected_outside_sweep(self, capsys, tmp_path):
+        # --out must not be silently ignored for other experiments
+        assert main(["fig8", "--out", str(tmp_path / "x")]) == 2
+        assert "sweep" in capsys.readouterr().err

@@ -50,7 +50,36 @@ class TestScenarioVariant:
 
     def test_psa_only_knobs_rejected_for_nas(self):
         with pytest.raises(ValueError, match="PSA-only"):
-            ScenarioVariant(name="x", workload="nas", n_sites=4)
+            ScenarioVariant(name="x", workload="nas", arrival_rate=0.1)
+
+    def test_nas_grid_layout_variant(self):
+        # NAS n_sites is no longer banned: the site plan scales with
+        # the paper's 1:2 big:small ratio (nas_site_plan).
+        v = ScenarioVariant(
+            name="x", workload="nas", n_jobs=200, n_sites=6,
+            n_training_jobs=0,
+        )
+        scenario, training = v.build_scenarios(seed=0, scale=0.1)
+        assert training is None
+        assert scenario.grid.n_sites == 6
+        speeds = sorted(scenario.grid.speeds.tolist(), reverse=True)
+        assert speeds == [16.0, 16.0, 8.0, 8.0, 8.0, 8.0]
+
+    def test_nas_paper_plan_unchanged_at_12_sites(self):
+        v12 = ScenarioVariant(
+            name="x", workload="nas", n_jobs=200, n_sites=12,
+            n_training_jobs=0,
+        )
+        v_def = ScenarioVariant(
+            name="x", workload="nas", n_jobs=200, n_training_jobs=0
+        )
+        s12, _ = v12.build_scenarios(seed=0, scale=0.1)
+        s_def, _ = v_def.build_scenarios(seed=0, scale=0.1)
+        assert s12.grid.speeds.tolist() == s_def.grid.speeds.tolist()
+
+    def test_n_sites_validated(self):
+        with pytest.raises(ValueError, match="n_sites"):
+            ScenarioVariant(name="x", n_sites=0)
 
     def test_job_count_validated(self):
         with pytest.raises(ValueError, match="n_jobs"):
@@ -65,6 +94,46 @@ class TestScenarioVariant:
         # unset overrides keep the base values
         s2 = ScenarioVariant(name="y").settings_for(TINY, seed=7)
         assert s2.lam == TINY.lam and s2.batch_interval == TINY.batch_interval
+
+    def test_ga_overrides_threaded_into_settings(self):
+        v = ScenarioVariant(
+            name="x", ga_overrides={"generations": 2, "population_size": 8}
+        )
+        s = v.settings_for(TINY, seed=1)
+        assert s.ga.generations == 2
+        assert s.ga.population_size == 8
+        # untouched GA fields keep the base config's values
+        assert s.ga.flow_weight == TINY.ga.flow_weight
+        # the base settings object is not mutated
+        assert TINY.ga.generations == 4
+
+    def test_ga_overrides_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="ga_overrides"):
+            ScenarioVariant(name="x", ga_overrides={"not_a_knob": 1})
+
+    def test_ga_overrides_normalized_and_hashable(self):
+        v = ScenarioVariant(
+            name="x", ga_overrides={"population_size": 8, "generations": 2}
+        )
+        assert v.ga_overrides == (
+            ("generations", 2), ("population_size", 8),
+        )
+        hash(v)  # frozen variants stay usable as set/dict keys
+        # pair-iterable input (e.g. reloaded JSON) is equivalent
+        assert v == ScenarioVariant(
+            name="x", ga_overrides=[["population_size", 8], ["generations", 2]]
+        )
+
+    def test_ga_overrides_none_values_keep_base(self):
+        v = ScenarioVariant(
+            name="x", ga_overrides={"generations": None, "population_size": 8}
+        )
+        s = v.settings_for(TINY, seed=1)
+        assert s.ga.generations == TINY.ga.generations
+        assert s.ga.population_size == 8
+        # empty/all-None overrides leave the GA config untouched
+        s2 = ScenarioVariant(name="y", ga_overrides={}).settings_for(TINY, 1)
+        assert s2.ga == TINY.ga
 
     def test_build_scenarios_grid_and_arrivals(self):
         v = ScenarioVariant(
@@ -93,6 +162,15 @@ class TestScenarioVariant:
         ls = lambda_variants([1.0, 3.0])
         assert [v.lam for v in ls] == [1.0, 3.0]
 
+    def test_lambda_variants_forward_training_jobs(self):
+        # mirrors job_scaling_variants (used to be silently dropped)
+        ls = lambda_variants([1.0, 3.0], n_training_jobs=7)
+        assert [v.n_training_jobs for v in ls] == [7, 7]
+        default = lambda_variants([1.0])[0]
+        from repro.experiments.config import PaperDefaults
+
+        assert default.n_training_jobs == PaperDefaults().n_training_jobs
+
     def test_seed_list(self):
         assert seed_list(3, base_seed=10) == (10, 11, 12)
         with pytest.raises(ValueError):
@@ -100,16 +178,34 @@ class TestScenarioVariant:
 
 
 class TestMetricSummary:
+    #: two-sided 95 % Student-t critical values (standard table)
+    T975 = {2: 4.3026527, 4: 2.7764451}
+
     def test_stats(self):
         s = MetricSummary(metric="makespan", values=(1.0, 2.0, 3.0))
         assert s.n == 3
         assert s.mean == pytest.approx(2.0)
         assert s.std == pytest.approx(1.0)  # ddof=1
-        assert s.ci95 == pytest.approx(1.96 * 1.0 / np.sqrt(3))
+        # Student-t interval at df = 2, not the 1.96 normal value
+        assert s.ci95 == pytest.approx(self.T975[2] * 1.0 / np.sqrt(3))
+
+    def test_ci95_uses_student_t_at_five_seeds(self):
+        # the acceptance check: t(0.975, df=4) ~ 2.776, ~42% wider
+        # than the z = 1.96 normal approximation the old code used
+        s = MetricSummary(values=(1, 2, 3, 4, 5))
+        std = np.sqrt(2.5)
+        assert s.ci95 == pytest.approx(self.T975[4] * std / np.sqrt(5))
+        assert s.ci95 > 1.4 * (1.96 * std / np.sqrt(5))
 
     def test_single_value(self):
         s = MetricSummary(metric="makespan", values=(5.0,))
         assert s.std == 0.0 and s.ci95 == 0.0
+
+    def test_positional_construction_unchanged(self):
+        # metric stays the first field: pre-existing positional
+        # callers keep working alongside the values=... spelling
+        s = MetricSummary("makespan", (1.0, 2.0))
+        assert s.metric == "makespan" and s.n == 2
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

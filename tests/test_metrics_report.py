@@ -76,6 +76,61 @@ class TestEvaluate:
         assert 0 <= rep.idle_sites <= 4
 
 
+class TestReportSerialization:
+    def test_eq_does_not_raise_on_array_field(self, result):
+        # a plain dataclass __eq__ would compare the ndarray with ==
+        # and raise "truth value of an array is ambiguous"
+        a = evaluate(result, "x")
+        b = evaluate(result, "x")
+        assert a == b
+        assert not (a != b)
+
+    def test_eq_detects_differences(self, result):
+        a = evaluate(result, "x")
+        b = evaluate(result, "y")  # scheduler name differs
+        assert a != b
+        import dataclasses
+
+        c = dataclasses.replace(
+            a, site_utilization=a.site_utilization + 1.0
+        )
+        assert a != c
+        assert a != "not a report"
+        assert hash(a) == hash(evaluate(result, "x"))
+
+    def test_dict_round_trip_bit_identical(self, result):
+        from repro.metrics.report import PerformanceReport
+
+        rep = evaluate(result, "x")
+        d = rep.to_dict()
+        assert isinstance(d["site_utilization"], list)
+        back = PerformanceReport.from_dict(d)
+        assert back == rep
+        assert back.makespan == rep.makespan  # exact, not approx
+        np.testing.assert_array_equal(
+            back.site_utilization, rep.site_utilization
+        )
+
+    def test_json_round_trip_bit_identical(self, result):
+        import json
+
+        from repro.metrics.report import PerformanceReport
+
+        rep = evaluate(result, "x")
+        back = PerformanceReport.from_dict(
+            json.loads(json.dumps(rep.to_dict()))
+        )
+        assert back == rep
+
+    def test_from_dict_rejects_unknown_fields(self, result):
+        from repro.metrics.report import PerformanceReport
+
+        d = evaluate(result, "x").to_dict()
+        d["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            PerformanceReport.from_dict(d)
+
+
 class TestEvaluateErrors:
     def test_secure_mode_never_fails(self, small_grid):
         jobs = make_jobs(

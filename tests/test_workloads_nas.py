@@ -3,7 +3,36 @@
 import numpy as np
 import pytest
 
-from repro.workloads.nas import NASConfig, nas_grid, nas_scenario
+from repro.workloads.nas import NASConfig, nas_grid, nas_scenario, nas_site_plan
+
+
+class TestNASSitePlan:
+    def test_twelve_sites_is_the_paper_plan(self):
+        assert nas_site_plan(12) == NASConfig().site_nodes
+
+    def test_keeps_big_to_small_ratio(self):
+        plan = nas_site_plan(6)
+        assert plan == (16, 16, 8, 8, 8, 8)
+        plan24 = nas_site_plan(24)
+        assert plan24.count(16) == 8 and plan24.count(8) == 16
+
+    def test_tiny_grids(self):
+        assert nas_site_plan(1) == (8,)
+        assert nas_site_plan(2) == (16, 8)
+        assert nas_site_plan(3) == (16, 8, 8)
+
+    def test_custom_node_counts(self):
+        assert nas_site_plan(3, big_nodes=32, small_nodes=4) == (32, 4, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_sites"):
+            nas_site_plan(0)
+        with pytest.raises(ValueError):
+            nas_site_plan(3, big_nodes=0)
+
+    def test_plan_builds_a_valid_grid(self):
+        grid = nas_grid(NASConfig(site_nodes=nas_site_plan(5)), rng=0)
+        assert grid.n_sites == 5
 
 
 class TestNASConfig:
