@@ -101,6 +101,110 @@ def test_vectorized_query_beats_loop_at_capacity_150():
     assert speedup > 2.0, f"vectorized query only {speedup:.2f}x faster"
 
 
+def test_stacks_survive_match_heavy_churn():
+    """At capacity, an evict+insert of matching shape overwrites the
+    victim's row in place: the cached stack arrays must stay the *same
+    objects* (no rebuild), and queries must keep returning exactly
+    what a from-scratch scoring loop returns."""
+    rng = np.random.default_rng(7)
+    table, ready, etc, sds = full_table(seed=7)
+    table.eviction = "lru"  # matches refresh recency, the paper setup
+    block = table._blocks[(B, S)]
+
+    table.query(ready, etc, sds)  # builds the stacks
+    stacks_before = block.stacks()
+    for _ in range(20):
+        # matching query (refreshes LRU order), then an insert that
+        # evicts one same-shape entry
+        assert table.query(ready, etc, sds)
+        table.insert(
+            ready * rng.uniform(0.97, 1.03),
+            etc * rng.uniform(0.97, 1.03),
+            sds,
+            rng.integers(0, S, size=B),
+        )
+        assert len(table) == CAPACITY
+    stacks_after = block.stacks()
+    for before, after in zip(stacks_before, stacks_after):
+        assert before is after, "churn rebuilt the stacked block"
+
+    # in-place rows stayed exact: the vectorised scores still equal
+    # the reference loop's, in the same order
+    expected = loop_query_scores(table, ready, etc, sds)
+    results = table.query(ready, etc, sds)
+    assert len(results) == len(expected)
+    for (_, key), assignment in zip(expected, results):
+        np.testing.assert_array_equal(
+            assignment, table._entries[key].assignment
+        )
+
+
+def test_mixed_shape_insert_still_invalidates():
+    """A shape change (or multi-eviction) falls back to the rebuild
+    path — correctness over cleverness outside the steady state."""
+    table, ready, etc, sds = full_table(seed=3)
+    block = table._blocks[(B, S)]
+    table.query(ready, etc, sds)
+    assert block._stacks is not None
+
+    # different shape: new block, old block loses its evicted row
+    rng = np.random.default_rng(3)
+    table.insert(
+        rng.uniform(0, 1000, size=S),
+        rng.uniform(10, 5000, size=(B + 1, S)),
+        rng.uniform(0.6, 0.9, size=B + 1),
+        rng.integers(0, S, size=B + 1),
+    )
+    assert len(block) == CAPACITY - 1
+    assert block._stacks is None  # row removal invalidated, as it must
+    expected = loop_query_scores(table, ready, etc, sds)
+    results = table.query(ready, etc, sds)
+    assert len(results) == len(expected)
+
+
+def test_match_churn_query_stays_fast_at_capacity():
+    """The STGA's steady state: every event inserts (evicting) and
+    queries with many matches.  With in-place row replacement the
+    vectorised path pays no per-event restack; pin a comfortable win
+    over the reference loop under exactly that access pattern."""
+    rng = np.random.default_rng(11)
+    table, ready, etc, sds = full_table(seed=11)
+    table.eviction = "lru"
+    reps = 30
+
+    def churn_vec():
+        table.insert(
+            ready * rng.uniform(0.97, 1.03),
+            etc * rng.uniform(0.97, 1.03),
+            sds,
+            rng.integers(0, S, size=B),
+        )
+        return table.query(ready, etc, sds)
+
+    def churn_loop():
+        table.insert(
+            ready * rng.uniform(0.97, 1.03),
+            etc * rng.uniform(0.97, 1.03),
+            sds,
+            rng.integers(0, S, size=B),
+        )
+        return loop_query_scores(table, ready, etc, sds)
+
+    churn_vec(), churn_loop()  # warm-up
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        churn_loop()
+    loop_s = (time.perf_counter() - t0) / reps
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        churn_vec()
+    vec_s = (time.perf_counter() - t0) / reps
+
+    speedup = loop_s / vec_s
+    print(f"\nmatch-heavy LRU churn speedup: {speedup:.1f}x")
+    assert speedup > 2.0, f"match-churn query only {speedup:.2f}x faster"
+
+
 def test_vectorized_query_beats_loop_with_insert_churn():
     """STGA's real access pattern: insert-then-query every event, so
     the stacks are rebuilt each time.  The vectorised path must still

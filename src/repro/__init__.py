@@ -58,6 +58,18 @@ from repro.heuristics import (
     paper_heuristics,
 )
 from repro.metrics import PerformanceReport, compare_to_reference, evaluate
+from repro.registry import (
+    SchedulerSpec,
+    WorkloadSpec,
+    available_schedulers,
+    available_workloads,
+    build_scheduler,
+    build_workload,
+    register_scheduler,
+    register_workload,
+    scheduler_spec,
+    workload_spec,
+)
 from repro.workloads import (
     NASConfig,
     PSAConfig,
@@ -110,4 +122,15 @@ __all__ = [
     "PerformanceReport",
     "evaluate",
     "compare_to_reference",
+    # registry
+    "SchedulerSpec",
+    "WorkloadSpec",
+    "register_scheduler",
+    "register_workload",
+    "scheduler_spec",
+    "workload_spec",
+    "available_schedulers",
+    "available_workloads",
+    "build_scheduler",
+    "build_workload",
 ]

@@ -1,4 +1,5 @@
-"""Command-line entry point: regenerate any paper table or figure.
+"""Command-line entry point: regenerate any paper table or figure,
+run declarative experiment specs, and manage stored runs.
 
 Examples
 --------
@@ -11,74 +12,83 @@ Examples
     repro-grid ablation --scale 0.05
     repro-grid sweep --scale 0.01 --sweep-seeds 5 --sweep-jobs 1000,2000
     repro-grid sweep --out runs/baseline
+    repro-grid emit-spec fig8 --scale 0.05 --out fig8.json
+    repro-grid run fig8.json --out runs/fig8
+    repro-grid registry
     repro-grid compare-runs runs/baseline runs/tuned
+    repro-grid compare-runs baselines/ci runs/new --fail-on-regression
 
 ``--scale 1.0`` runs the paper-size experiments (minutes of CPU time);
 the default is a fast scaled-down run with identical distributions.
-``sweep --out DIR`` persists the run (see
-:mod:`repro.experiments.store`); ``compare-runs A B`` diffs two stored
-runs per (variant, scheduler, metric) cell.
+``emit-spec`` writes a figure driver's declarative
+:class:`~repro.experiments.spec.ExperimentSpec` as JSON and ``run``
+executes any spec file — the shippable unit for distributing
+replications across hosts.  ``compare-runs A B`` diffs two stored runs
+per (variant, scheduler, metric) cell; with ``--fail-on-regression``
+it exits 1 when run B is statistically worse than baseline A by more
+than ``--threshold`` percent (the CI regression gate).
+
+Each subcommand owns its options: write ``repro-grid fig8 --scale
+0.1``, not ``repro-grid --scale 0.1 fig8``.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from repro.experiments.ablation import stga_vs_conventional
 from repro.experiments.config import RunSettings
-from repro.experiments.fig7 import frisky_makespan_sweep, stga_iteration_sweep
-from repro.experiments.fig8 import nas_experiment
+from repro.experiments.fig7 import (
+    frisky_makespan_sweep,
+    frisky_sweep_spec,
+    stga_iteration_spec,
+    stga_iteration_sweep,
+)
+from repro.experiments.fig8 import nas_experiment, nas_spec
 from repro.experiments.fig9 import utilization_panels
-from repro.experiments.fig10 import psa_scaling_experiment
-from repro.experiments.store import compare_runs, save_run
+from repro.experiments.fig10 import psa_scaling_experiment, psa_scaling_spec
+from repro.experiments.spec import load_spec, run_spec, save_spec
+from repro.experiments.store import (
+    compare_runs,
+    find_regressions,
+    save_run,
+)
 from repro.experiments.sweep import (
     job_scaling_variants,
     run_sweep,
     seed_list,
 )
-from repro.experiments.table2 import render_table2
+from repro.experiments.table2 import render_table2, table2_spec
 from repro.metrics.compare import (
     compare_ensemble,
     render_ensemble_comparison,
     render_run_diff,
 )
+from repro.registry import (
+    available_schedulers,
+    available_workloads,
+    scheduler_spec,
+    workload_spec,
+)
 from repro.util.tables import render_table
 
 __all__ = ["main", "build_parser"]
 
+#: experiment name -> spec builder, for ``emit-spec``
+SPEC_BUILDERS = {
+    "fig7a": frisky_sweep_spec,
+    "fig7b": stga_iteration_spec,
+    "fig8": nas_spec,
+    "fig9": nas_spec,  # Figure 9 reuses the Figure 8 runs
+    "fig10": psa_scaling_spec,
+    "table2": table2_spec,
+}
 
-def build_parser() -> argparse.ArgumentParser:
-    """The repro-grid argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="repro-grid",
-        description=(
-            "Reproduce the tables and figures of Song/Kwok/Hwang, "
-            "'Security-Driven Heuristics and A Fast Genetic Algorithm "
-            "for Trusted Grid Job Scheduling' (IPDPS 2005)."
-        ),
-    )
-    parser.add_argument(
-        "experiment",
-        choices=[
-            "fig7a",
-            "fig7b",
-            "fig8",
-            "fig9",
-            "fig10",
-            "table2",
-            "ablation",
-            "sweep",
-            "compare-runs",
-        ],
-        help="which paper artifact to regenerate (or compare stored runs)",
-    )
-    parser.add_argument(
-        "runs",
-        nargs="*",
-        metavar="RUN_DIR",
-        help="compare-runs only: exactly two stored run directories",
-    )
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    """Engine options shared by every experiment subcommand."""
     parser.add_argument(
         "--scale",
         type=float,
@@ -98,7 +108,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=3.0,
         help="Eq.1 failure-rate constant lambda (default 3.0)",
     )
-    sweep = parser.add_argument_group("sweep options")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-grid argument parser (one subparser per command)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-grid",
+        description=(
+            "Reproduce the tables and figures of Song/Kwok/Hwang, "
+            "'Security-Driven Heuristics and A Fast Genetic Algorithm "
+            "for Trusted Grid Job Scheduling' (IPDPS 2005)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    for name, help_ in (
+        ("fig7a", "makespan vs risk level f (PSA)"),
+        ("fig7b", "STGA makespan vs iteration budget (PSA)"),
+        ("fig8", "the seven-algorithm NAS comparison"),
+        ("fig9", "per-site utilization panels (NAS)"),
+        ("fig10", "scaling the PSA workload size N"),
+        ("table2", "alpha/beta ranking vs the STGA (NAS)"),
+        ("ablation", "STGA vs conventional GA (Figure 5 concept)"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        _add_common(p)
+
+    sweep = sub.add_parser(
+        "sweep", help="replication sweep: N seeds x M scenario variants"
+    )
+    _add_common(sweep)
     sweep.add_argument(
         "--sweep-seeds",
         type=int,
@@ -107,7 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--sweep-workload",
-        choices=["psa", "nas"],
+        choices=sorted(available_workloads()),
         default="psa",
         help="workload generator for the sweep variants (default psa)",
     )
@@ -133,56 +172,274 @@ def build_parser() -> argparse.ArgumentParser:
             "(run.json + grid.csv; overwrites an existing record)"
         ),
     )
+
+    run = sub.add_parser(
+        "run", help="execute a declarative experiment spec (JSON)"
+    )
+    run.add_argument("spec", metavar="SPEC.json", help="experiment spec file")
+    run.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: one per CPU; 1 = sequential)",
+    )
+    run.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persist the result as a run record at DIR",
+    )
+
+    emit = sub.add_parser(
+        "emit-spec",
+        help="write a paper experiment as a declarative spec (JSON)",
+    )
+    emit.add_argument(
+        "builder",
+        choices=sorted(SPEC_BUILDERS),
+        help="which paper experiment to express as a spec",
+    )
+    _add_common(emit)
+    emit.add_argument(
+        "--spec-seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replication seeds to put in the spec (default: 1, the root seed)",
+    )
+    emit.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="spec file to write (default: stdout)",
+    )
+
+    sub.add_parser(
+        "registry", help="list registered schedulers and workloads"
+    )
+
+    cmp_ = sub.add_parser(
+        "compare-runs", help="diff two stored runs cell by cell"
+    )
+    cmp_.add_argument("run_a", metavar="RUN_A", help="baseline run directory")
+    cmp_.add_argument("run_b", metavar="RUN_B", help="candidate run directory")
+    cmp_.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help=(
+            "exit 1 when a (variant, scheduler, metric) cell of RUN_B is "
+            "worse than RUN_A past --threshold with non-overlapping CIs"
+        ),
+    )
+    cmp_.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="regression gate: tolerated mean increase in percent "
+        "(default 5.0)",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.experiment == "compare-runs":
-        if len(args.runs) != 2:
-            print(
-                "compare-runs needs exactly two run directories, got "
-                f"{len(args.runs)}",
-                file=sys.stderr,
-            )
-            return 2
-        try:
-            rows = compare_runs(args.runs[0], args.runs[1])
-        except (OSError, ValueError) as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
-        except KeyError as exc:
-            # a parseable run.json missing expected record keys
-            print(f"malformed run record: missing {exc}", file=sys.stderr)
-            return 2
-        print(render_run_diff(
-            rows, title=f"Run diff: {args.runs[0]} vs {args.runs[1]}"
-        ))
-        diverged = sum(r.verdict == "diverged" for r in rows)
-        unchanged = sum(r.verdict == "same" for r in rows)
-        print(
-            f"\n{len(rows)} cells: {unchanged} same, "
-            f"{len(rows) - unchanged - diverged} within CI overlap, "
-            f"{diverged} diverged"
-        )
-        return 0
-    if args.runs:
-        print(
-            "positional run directories only apply to compare-runs",
-            file=sys.stderr,
-        )
-        return 2
-    if args.out is not None and args.experiment != "sweep":
-        print("--out only applies to the sweep experiment", file=sys.stderr)
-        return 2
-    if not (0 < args.scale <= 1.0):
-        print(f"--scale must be in (0, 1], got {args.scale}", file=sys.stderr)
-        return 2
-    settings = RunSettings(
+def _settings(args: argparse.Namespace) -> RunSettings:
+    return RunSettings(
         batch_interval=args.batch_interval, lam=args.lam, seed=args.seed
     )
 
+
+def _check_scale(args: argparse.Namespace) -> bool:
+    if not (0 < args.scale <= 1.0):
+        print(f"--scale must be in (0, 1], got {args.scale}", file=sys.stderr)
+        return False
+    return True
+
+
+def _cmd_compare_runs(args: argparse.Namespace) -> int:
+    if args.threshold < 0:
+        print(
+            f"--threshold must be >= 0, got {args.threshold}", file=sys.stderr
+        )
+        return 2
+    try:
+        rows = compare_runs(args.run_a, args.run_b)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # a parseable run.json missing expected record keys
+        print(f"malformed run record: missing {exc}", file=sys.stderr)
+        return 2
+    print(render_run_diff(
+        rows, title=f"Run diff: {args.run_a} vs {args.run_b}"
+    ))
+    diverged = sum(r.verdict == "diverged" for r in rows)
+    unchanged = sum(r.verdict == "same" for r in rows)
+    print(
+        f"\n{len(rows)} cells: {unchanged} same, "
+        f"{len(rows) - unchanged - diverged} within CI overlap, "
+        f"{diverged} diverged"
+    )
+    if not args.fail_on_regression:
+        return 0
+    regressions = find_regressions(rows, threshold_pct=args.threshold)
+    if not regressions:
+        print(
+            f"regression gate: clean (threshold {args.threshold:g}%)"
+        )
+        return 0
+    print(
+        f"\nregression gate: {len(regressions)} cell(s) regressed past "
+        f"{args.threshold:g}% with non-overlapping CIs:",
+        file=sys.stderr,
+    )
+    for r in regressions:
+        # shift_pct is NaN for a zero baseline (the always-flagged
+        # class); show the absolute rise there instead
+        shift = (
+            f"{r.shift_pct:+.3g}%"
+            if math.isfinite(r.shift_pct)
+            else f"+{r.mean_shift:.6g} from zero"
+        )
+        print(
+            f"  {r.variant} / {r.scheduler} / {r.metric}: "
+            f"{r.mean_a:.6g} -> {r.mean_b:.6g} ({shift})",
+            file=sys.stderr,
+        )
+    return 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if not _check_scale(args):
+        return 2
+    try:
+        n_values = [int(x) for x in args.sweep_jobs.split(",") if x.strip()]
+    except ValueError:
+        print(f"bad --sweep-jobs value {args.sweep_jobs!r}", file=sys.stderr)
+        return 2
+    n_values = list(dict.fromkeys(n_values))  # dedupe, keep order
+    if not n_values or args.sweep_seeds < 1:
+        print("need >= 1 job count and >= 1 seed", file=sys.stderr)
+        return 2
+    if any(n < 1 for n in n_values):
+        print(
+            f"--sweep-jobs counts must be >= 1, got {args.sweep_jobs!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_workers is not None and args.max_workers < 1:
+        print(
+            f"--max-workers must be >= 1, got {args.max_workers}",
+            file=sys.stderr,
+        )
+        return 2
+    res = run_sweep(
+        job_scaling_variants(n_values, workload=args.sweep_workload),
+        seed_list(args.sweep_seeds, base_seed=args.seed),
+        settings=_settings(args),
+        scale=args.scale,
+        max_workers=args.max_workers,
+    )
+    for metric in ("makespan", "avg_response_time", "slowdown_ratio",
+                   "n_fail"):
+        print(res.render(metric))
+        print()
+    last = res.variants[-1].name
+    rows = compare_ensemble(res.per_seed_lineups(last))
+    print(render_ensemble_comparison(
+        rows, title=f"Table 2 over the sweep ensemble ({last})"
+    ))
+    if args.out:
+        run_dir = save_run(res, args.out, overwrite=True)
+        print(f"\nsaved run record to {run_dir}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.max_workers is not None and args.max_workers < 1:
+        print(
+            f"--max-workers must be >= 1, got {args.max_workers}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = load_spec(args.spec)
+        spec.validate()
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bad experiment spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"spec {spec.name!r}: {len(spec.schedulers)} scheduler(s) x "
+        f"{len(spec.variants)} variant(s) x {len(spec.seeds)} seed(s) "
+        f"at scale {spec.scale:g}"
+    )
+    try:
+        res = run_spec(spec, max_workers=args.max_workers)
+    except (ValueError, KeyError, TypeError) as exc:
+        # e.g. two refs resolving to one report name, or a ref param
+        # colliding with a factory-fixed keyword
+        print(f"spec {spec.name!r} failed: {exc}", file=sys.stderr)
+        return 2
+    for metric in spec.metrics:
+        print(res.render(metric))
+        print()
+    if args.out:
+        run_dir = save_run(res, args.out, name=spec.name, overwrite=True)
+        print(f"saved run record to {run_dir}")
+    return 0
+
+
+def _cmd_emit_spec(args: argparse.Namespace) -> int:
+    if not _check_scale(args):
+        return 2
+    if args.spec_seeds is not None and args.spec_seeds < 1:
+        print(
+            f"--spec-seeds must be >= 1, got {args.spec_seeds}",
+            file=sys.stderr,
+        )
+        return 2
+    settings = _settings(args)
+    seeds = (
+        seed_list(args.spec_seeds, base_seed=args.seed)
+        if args.spec_seeds is not None
+        else None
+    )
+    spec = SPEC_BUILDERS[args.builder](
+        seeds=seeds, scale=args.scale, settings=settings
+    )
+    if args.out:
+        save_spec(spec, args.out)
+        print(f"wrote {spec.name!r} spec to {args.out}")
+    else:
+        print(spec.to_json(), end="")
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    rows = [
+        [name, scheduler_spec(name).description]
+        for name in available_schedulers()
+    ]
+    print(render_table(
+        ["scheduler", "description"], rows, title="Registered schedulers"
+    ))
+    print()
+    rows = [
+        [name, workload_spec(name).description]
+        for name in available_workloads()
+    ]
+    print(render_table(
+        ["workload", "description"], rows, title="Registered workloads"
+    ))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if not _check_scale(args):
+        return 2
+    settings = _settings(args)
     if args.experiment == "fig7a":
         res = frisky_makespan_sweep(scale=args.scale, settings=settings)
         print(res.render())
@@ -202,47 +459,6 @@ def main(argv: list[str] | None = None) -> int:
                 print()
         else:
             print(render_table2(nas))
-    elif args.experiment == "sweep":
-        try:
-            n_values = [int(x) for x in args.sweep_jobs.split(",") if x.strip()]
-        except ValueError:
-            print(f"bad --sweep-jobs value {args.sweep_jobs!r}", file=sys.stderr)
-            return 2
-        n_values = list(dict.fromkeys(n_values))  # dedupe, keep order
-        if not n_values or args.sweep_seeds < 1:
-            print("need >= 1 job count and >= 1 seed", file=sys.stderr)
-            return 2
-        if any(n < 1 for n in n_values):
-            print(
-                f"--sweep-jobs counts must be >= 1, got {args.sweep_jobs!r}",
-                file=sys.stderr,
-            )
-            return 2
-        if args.max_workers is not None and args.max_workers < 1:
-            print(
-                f"--max-workers must be >= 1, got {args.max_workers}",
-                file=sys.stderr,
-            )
-            return 2
-        res = run_sweep(
-            job_scaling_variants(n_values, workload=args.sweep_workload),
-            seed_list(args.sweep_seeds, base_seed=args.seed),
-            settings=settings,
-            scale=args.scale,
-            max_workers=args.max_workers,
-        )
-        for metric in ("makespan", "avg_response_time", "slowdown_ratio",
-                       "n_fail"):
-            print(res.render(metric))
-            print()
-        last = res.variants[-1].name
-        rows = compare_ensemble(res.per_seed_lineups(last))
-        print(render_ensemble_comparison(
-            rows, title=f"Table 2 over the sweep ensemble ({last})"
-        ))
-        if args.out:
-            run_dir = save_run(res, args.out, overwrite=True)
-            print(f"\nsaved run record to {run_dir}")
     elif args.experiment == "fig10":
         res = psa_scaling_experiment(scale=args.scale, settings=settings)
         for metric in ("makespan", "avg_response", "slowdown", "n_fail"):
@@ -272,6 +488,31 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"\nSTGA history hit rate: {cmp_.stga_history_hit_rate:.1%}")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Usage errors — including stray positionals like a RUN_DIR after a
+    non-compare-runs experiment — surface as argparse errors (exit 2),
+    never as silently ignored arguments.
+    """
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse error (2) or --help (0)
+        code = exc.code
+        return code if isinstance(code, int) else (0 if code is None else 2)
+    if args.experiment == "compare-runs":
+        return _cmd_compare_runs(args)
+    if args.experiment == "sweep":
+        return _cmd_sweep(args)
+    if args.experiment == "run":
+        return _cmd_run(args)
+    if args.experiment == "emit-spec":
+        return _cmd_emit_spec(args)
+    if args.experiment == "registry":
+        return _cmd_registry(args)
+    return _cmd_figure(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,7 +19,12 @@ arrays (one block per (B, S) shape) and all Eq. 2 similarities are
 computed in a single numpy pass
 (:func:`repro.core.similarity.population_similarity`), instead of a
 Python-level loop over up to ``capacity`` entries per scheduling
-event.  ``benchmarks/test_history_query_speed.py`` pins the speedup.
+event.  Neither an LRU refresh-on-match nor an evict+insert of
+matching shape at capacity invalidates the stacks — the former only
+reorders ``_entries`` and the latter overwrites the victim's row in
+place — so the steady-state churn of a full table costs no rebuilds.
+``benchmarks/test_history_query_speed.py`` pins both the speedup and
+the stack stability under match-heavy churn.
 """
 
 from __future__ import annotations
@@ -57,7 +62,11 @@ class _ShapeBlock:
     Stacks are rebuilt lazily: inserts and evictions append/remove a
     row and drop the cached stacks; the next query restacks once.  LRU
     reordering does not touch the block (row order is immaterial — the
-    score sort is on (similarity, insertion id)).
+    score sort is on (similarity, insertion id)), and an evict+insert
+    of matching shape — the steady state of a full table under churn —
+    overwrites the victim's row *in place* via :meth:`replace_row`
+    instead of invalidating the stacks, so a match-heavy workload at
+    capacity never pays the O(capacity) restack per scheduling event.
     """
 
     __slots__ = ("keys", "_ready", "_etc", "_sd", "_stacks")
@@ -81,6 +90,24 @@ class _ShapeBlock:
         for lst in (self.keys, self._ready, self._etc, self._sd):
             lst.pop(i)
         self._stacks = None
+
+    def replace_row(self, old_key: int, new_key: int, entry: HistoryEntry) -> None:
+        """Overwrite ``old_key``'s row with ``entry`` — stacks stay valid.
+
+        The stacked arrays own copies of the entry data (``np.stack``
+        copies), so writing the rows in place cannot alias the new
+        entry's arrays.
+        """
+        i = self.keys.index(old_key)
+        self.keys[i] = new_key
+        self._ready[i] = entry.ready
+        self._etc[i] = entry.etc.ravel()
+        self._sd[i] = entry.security_demands
+        if self._stacks is not None:
+            ready_s, etc_s, sd_s = self._stacks
+            ready_s[i] = entry.ready
+            etc_s[i] = entry.etc.ravel()
+            sd_s[i] = entry.security_demands
 
     def stacks(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self._stacks is None:
@@ -160,12 +187,23 @@ class HistoryTable:
                 f"ready length {entry.ready.shape[0]} does not match "
                 f"{etc.shape[1]} sites"
             )
+        evicted: list[tuple[int, HistoryEntry]] = []
         while len(self._entries) >= self.capacity:
             # least recently used / oldest
-            old_key, old_entry = self._entries.popitem(last=False)
-            self._drop_from_block(old_key, old_entry)
+            evicted.append(self._entries.popitem(last=False))
         key = next(self._ids)
         self._entries[key] = entry
+        if (
+            len(evicted) == 1
+            and evicted[0][1].shape == entry.shape
+            and entry.shape in self._blocks
+        ):
+            # steady state of a full table: swap the victim's row in
+            # place, keeping the block's cached stacks valid
+            self._blocks[entry.shape].replace_row(evicted[0][0], key, entry)
+            return
+        for old_key, old_entry in evicted:
+            self._drop_from_block(old_key, old_entry)
         block = self._blocks.get(entry.shape)
         if block is None:
             block = self._blocks[entry.shape] = _ShapeBlock()

@@ -27,6 +27,7 @@ from repro.core.history import HistoryTable
 from repro.grid.batch import Batch, ScheduleResult
 from repro.grid.security import DEFAULT_LAMBDA, RiskMode
 from repro.heuristics.base import BatchScheduler, SecurityDrivenScheduler
+from repro.registry import register_scheduler
 from repro.util.rng import as_generator
 from repro.util.validation import check_non_negative
 
@@ -146,6 +147,39 @@ class StandardGAScheduler(_GASchedulerBase):
     algorithm = "GA"
 
 
+@register_scheduler(
+    "ga",
+    description="conventional (space-only) GA — random initial "
+    "population every batch, the Figure 5 baseline",
+    aliases=("standard-ga",),
+    stateful=True,  # carries its GA rng stream across batches
+)
+def _build_standard_ga(
+    settings,
+    rng,
+    *,
+    defaults=None,
+    scenario=None,  # per-run context, unused: no history warm-up
+    training=None,
+    ga_config=None,
+    mode: str = "f-risky",
+    f=None,
+    **params,
+):
+    """Registry factory matching the ablation's "conventional GA" setup
+    (same gene alphabet as the STGA for a fair contrast)."""
+    if f is None:
+        f = defaults.f_risky if defaults is not None else 0.5
+    return StandardGAScheduler(
+        mode,
+        f=float(f),
+        lam=settings.lam,
+        config=ga_config if ga_config is not None else settings.ga,
+        rng=rng.stream("conventional-ga"),
+        **params,
+    )
+
+
 class STGAScheduler(_GASchedulerBase):
     """The Space-Time Genetic Algorithm (paper Section 3).
 
@@ -199,7 +233,7 @@ class STGAScheduler(_GASchedulerBase):
 
     @property
     def name(self) -> str:
-        return "STGA"
+        return self.label if self.label is not None else "STGA"
 
     def _sub_batch(self, batch: Batch, feasible: np.ndarray) -> Batch:
         """The feasible-job view of ``batch`` (what the GA solves)."""

@@ -21,13 +21,15 @@ import numpy as np
 
 from repro.core.ga import GAConfig
 from repro.core.history import HistoryTable
-from repro.core.stga import StandardGAScheduler, STGAScheduler, warmup_history
+from repro.core.stga import StandardGAScheduler, STGAScheduler
 from repro.experiments.config import PaperDefaults, RunSettings
 from repro.experiments.runner import (
     make_trained_stga,
     run_scheduler,
     scale_jobs,
 )
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.sweep import ScenarioVariant
 from repro.heuristics.minmin import MinMinScheduler
 from repro.metrics.report import PerformanceReport
 from repro.util.rng import RngFactory
@@ -36,6 +38,7 @@ from repro.workloads.psa import PSAConfig, psa_scenario
 __all__ = [
     "GAComparisonResult",
     "stga_vs_conventional",
+    "stga_ablation_spec",
     "lookup_capacity_sweep",
     "threshold_sweep",
     "eviction_comparison",
@@ -103,24 +106,52 @@ def stga_vs_conventional(
     )
 
 
+def stga_ablation_spec(
+    *,
+    n_jobs: int = 1000,
+    seeds=None,
+    scale: float = 1.0,
+    settings: RunSettings = RunSettings(),
+    defaults: PaperDefaults = PaperDefaults(),
+) -> ExperimentSpec:
+    """The STGA design-choice ablation as a declarative spec.
+
+    One PSA variant, four parameterized ``stga`` refs plus the
+    conventional GA: the paper's LRU table, FIFO eviction, a
+    history-only STGA (no per-batch heuristic seeds) and the
+    no-history baseline — labels keep the report names distinct.
+    """
+    return ExperimentSpec(
+        name="stga-ablation",
+        schedulers=(
+            "stga",
+            "stga?eviction=fifo&label=STGA-FIFO",
+            "stga?heuristic_seeds=false&label=STGA-history-only",
+            "ga?label=conventional-GA",
+        ),
+        variants=(
+            ScenarioVariant(
+                name=f"PSA N={n_jobs}",
+                workload="psa",
+                n_jobs=n_jobs,
+                n_training_jobs=defaults.n_training_jobs,
+            ),
+        ),
+        seeds=tuple(seeds) if seeds is not None else (settings.seed,),
+        scale=scale,
+        settings=settings,
+    )
+
+
 def _trained_stga_with_table(
     scenario, training, settings, defaults, table: HistoryTable, ga_config=None
 ) -> STGAScheduler:
-    rngs = RngFactory(settings.seed)
-    warmup_history(
-        table,
-        scenario.grid,
-        training.jobs,
-        batch_interval=settings.batch_interval,
-        lam=settings.lam,
-        rng=rngs.stream("warmup-failures"),
-    )
-    return STGAScheduler(
-        "f-risky",
-        f=defaults.f_risky,
-        lam=settings.lam,
-        config=ga_config if ga_config is not None else settings.ga,
-        rng=rngs.stream("stga"),
+    return make_trained_stga(
+        scenario,
+        training,
+        settings,
+        defaults=defaults,
+        ga_config=ga_config,
         history=table,
     )
 
@@ -254,28 +285,14 @@ def risk_penalty_sweep(
 ) -> dict[float, PerformanceReport]:
     """Risk-penalised GA fitness (extension): trade N_fail vs makespan."""
     scenario, training = _psa_pair(n_jobs, scale, settings, defaults)
-    rngs = RngFactory(settings.seed)
     out: dict[float, PerformanceReport] = {}
     for pen in penalties:
-        table = HistoryTable(
-            capacity=defaults.lookup_table_size,
-            threshold=defaults.similarity_threshold,
-        )
-        warmup_history(
-            table,
-            scenario.grid,
-            training.jobs,
-            batch_interval=settings.batch_interval,
-            lam=settings.lam,
-            rng=rngs.fresh("warmup-failures"),
-        )
-        stga = STGAScheduler(
-            "f-risky",
-            f=defaults.f_risky,
-            lam=settings.lam,
-            config=ga_config if ga_config is not None else settings.ga,
-            rng=rngs.fresh("stga"),
-            history=table,
+        stga = make_trained_stga(
+            scenario,
+            training,
+            settings,
+            defaults=defaults,
+            ga_config=ga_config,
             risk_penalty=float(pen),
         )
         out[float(pen)] = run_scheduler(scenario, stga, settings)

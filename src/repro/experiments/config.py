@@ -17,7 +17,7 @@ variable (or a small built-in) so CI stays fast.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.core.ga import GAConfig
 from repro.grid.security import DEFAULT_LAMBDA
@@ -106,6 +106,19 @@ class RunSettings:
             if ga_kwargs:
                 kwargs["ga"] = replace(kwargs.get("ga", self.ga), **ga_kwargs)
         return replace(self, **kwargs) if kwargs else self
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (``ga`` nested); round-trips bit-identically
+        through :meth:`from_dict` — floats serialize with ``repr``
+        fidelity, the ``json`` module's default."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSettings":
+        """Inverse of :meth:`to_dict`."""
+        kwargs = dict(data)
+        kwargs["ga"] = GAConfig(**kwargs["ga"])
+        return cls(**kwargs)
 
 
 def bench_scale(default: float = 0.05) -> float:

@@ -18,14 +18,15 @@ import numpy as np
 from repro.core.ga import GAConfig
 from repro.experiments.config import PaperDefaults, RunSettings
 from repro.experiments.runner import (
+    PAPER_LINEUP,
     make_trained_stga,
     run_scheduler,
     scale_jobs,
 )
+from repro.experiments.spec import ExperimentSpec, run_spec
 from repro.experiments.sweep import (
     SweepResult,
     job_scaling_variants,
-    run_sweep,
 )
 from repro.heuristics.minmin import MinMinScheduler
 from repro.heuristics.sufferage import SufferageScheduler
@@ -37,6 +38,7 @@ __all__ = [
     "PSAScalingResult",
     "psa_scaling_experiment",
     "psa_scaling_ensemble",
+    "psa_scaling_spec",
     "DEFAULT_N_GRID",
 ]
 
@@ -115,6 +117,30 @@ def psa_scaling_experiment(
     )
 
 
+def psa_scaling_spec(
+    *,
+    n_values=DEFAULT_N_GRID,
+    seeds: Sequence[int] | None = None,
+    scale: float = 1.0,
+    settings: RunSettings = RunSettings(),
+    defaults: PaperDefaults = PaperDefaults(),
+) -> ExperimentSpec:
+    """Figure 10 as a declarative spec: one PSA variant per workload
+    size N, the paper's full lineup (a superset of the figure's three
+    schedulers), ``seeds`` defaulting to the single ``settings.seed``.
+    """
+    return ExperimentSpec(
+        name="fig10-psa-scaling",
+        schedulers=PAPER_LINEUP,
+        variants=job_scaling_variants(
+            n_values, n_training_jobs=defaults.n_training_jobs
+        ),
+        seeds=tuple(seeds) if seeds is not None else (settings.seed,),
+        scale=scale,
+        settings=settings,
+    )
+
+
 def psa_scaling_ensemble(
     seeds: Sequence[int],
     *,
@@ -129,15 +155,14 @@ def psa_scaling_ensemble(
     Fans the (N, seed) grid out over a process pool and returns a
     :class:`~repro.experiments.sweep.SweepResult` whose
     ``render(metric)`` prints each panel as mean ± std series (the
-    full lineup, a superset of the figure's three schedulers).
+    full lineup, a superset of the figure's three schedulers).  Thin
+    wrapper: builds :func:`psa_scaling_spec` and executes it.
     """
-    return run_sweep(
-        job_scaling_variants(
-            n_values, n_training_jobs=defaults.n_training_jobs
+    return run_spec(
+        psa_scaling_spec(
+            n_values=n_values, seeds=seeds, scale=scale, settings=settings,
+            defaults=defaults,
         ),
-        seeds,
-        settings=settings,
-        scale=scale,
         defaults=defaults,
         max_workers=max_workers,
     )

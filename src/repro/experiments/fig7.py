@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.experiments.config import PaperDefaults, RunSettings
 from repro.experiments.runner import make_trained_stga, run_scheduler, scale_jobs
-from repro.experiments.sweep import parallel_map
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.sweep import ScenarioVariant, parallel_map
 from repro.heuristics.minmin import MinMinScheduler
 from repro.heuristics.sufferage import SufferageScheduler
 from repro.util.tables import render_table
@@ -28,8 +29,10 @@ from repro.workloads.psa import PSAConfig, psa_scenario
 __all__ = [
     "FriskySweepResult",
     "frisky_makespan_sweep",
+    "frisky_sweep_spec",
     "StgaIterationSweepResult",
     "stga_iteration_sweep",
+    "stga_iteration_spec",
     "DEFAULT_F_GRID",
     "DEFAULT_ITERATION_GRID",
 ]
@@ -161,6 +164,81 @@ def frisky_makespan_sweep(
         ).makespan
     return FriskySweepResult(
         f_values=fs, minmin_makespan=mm, sufferage_makespan=sf
+    )
+
+
+def frisky_sweep_spec(
+    *,
+    n_jobs: int = 1000,
+    f_values=DEFAULT_F_GRID,
+    seeds: Sequence[int] | None = None,
+    scale: float = 1.0,
+    settings: RunSettings = RunSettings(),
+) -> ExperimentSpec:
+    """Figure 7(a) as a declarative spec.
+
+    The f-axis maps onto parameterized scheduler refs — one
+    ``"...-f-risky?f=X"`` entry per grid point and heuristic (the
+    report names stay distinct because f appears in them), on a single
+    PSA variant with no STGA warm-up stream.
+    """
+    return ExperimentSpec(
+        name="fig7a-frisky-sweep",
+        schedulers=tuple(
+            f"{algo}-f-risky?f={float(f):g}"
+            for algo in ("min-min", "sufferage")
+            for f in f_values
+        ),
+        variants=(
+            ScenarioVariant(
+                name=f"PSA N={n_jobs}",
+                workload="psa",
+                n_jobs=n_jobs,
+                n_training_jobs=0,
+            ),
+        ),
+        seeds=tuple(seeds) if seeds is not None else (settings.seed,),
+        metrics=("makespan",),
+        scale=scale,
+        settings=settings,
+    )
+
+
+def stga_iteration_spec(
+    *,
+    n_jobs: int = 1000,
+    generations=DEFAULT_ITERATION_GRID,
+    seeds: Sequence[int] | None = None,
+    scale: float = 1.0,
+    settings: RunSettings = RunSettings(),
+    defaults: PaperDefaults = PaperDefaults(),
+) -> ExperimentSpec:
+    """Figure 7(b) as a declarative spec.
+
+    The generation-budget axis maps onto scenario variants carrying
+    per-variant ``ga_overrides`` — same PSA workload, same warm-up,
+    only the STGA's iteration budget changes.
+    """
+    gens = sorted(set(int(g) for g in generations))
+    if any(g < 0 for g in gens):
+        raise ValueError("generation budgets must be non-negative")
+    return ExperimentSpec(
+        name="fig7b-stga-iterations",
+        schedulers=("stga",),
+        variants=tuple(
+            ScenarioVariant(
+                name=f"generations={g}",
+                workload="psa",
+                n_jobs=n_jobs,
+                n_training_jobs=defaults.n_training_jobs,
+                ga_overrides={"generations": g},
+            )
+            for g in gens
+        ),
+        seeds=tuple(seeds) if seeds is not None else (settings.seed,),
+        metrics=("makespan",),
+        scale=scale,
+        settings=settings,
     )
 
 

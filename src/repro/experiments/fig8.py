@@ -14,17 +14,19 @@ from dataclasses import dataclass, replace
 
 from repro.core.ga import GAConfig
 from repro.experiments.config import PaperDefaults, RunSettings
-from repro.experiments.runner import run_lineup, scale_jobs
-from repro.experiments.sweep import (
-    ScenarioVariant,
-    SweepResult,
-    run_sweep,
-)
+from repro.experiments.runner import PAPER_LINEUP, run_lineup, scale_jobs
+from repro.experiments.spec import ExperimentSpec, run_spec
+from repro.experiments.sweep import ScenarioVariant, SweepResult
 from repro.metrics.report import PerformanceReport
 from repro.util.tables import render_table
 from repro.workloads.nas import NASConfig, nas_scenario
 
-__all__ = ["NASExperimentResult", "nas_experiment", "nas_ensemble"]
+__all__ = [
+    "NASExperimentResult",
+    "nas_experiment",
+    "nas_ensemble",
+    "nas_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +91,38 @@ def nas_experiment(
     return NASExperimentResult(reports=tuple(reports))
 
 
+def nas_spec(
+    *,
+    seeds: Sequence[int] | None = None,
+    scale: float = 1.0,
+    settings: RunSettings = RunSettings(),
+    defaults: PaperDefaults = PaperDefaults(),
+) -> ExperimentSpec:
+    """The Figure 8 / Figure 9 / Table 2 experiment as a declarative
+    spec: the paper's seven-ref lineup on one NAS variant.
+
+    ``seeds`` defaults to the single ``settings.seed``, in which case
+    :func:`~repro.experiments.spec.run_spec` reproduces
+    :func:`nas_experiment` bit for bit; more seeds give the error-bar
+    ensemble.
+    """
+    return ExperimentSpec(
+        name="fig8-nas",
+        schedulers=PAPER_LINEUP,
+        variants=(
+            ScenarioVariant(
+                name=f"NAS N={NASConfig().n_jobs}",
+                workload="nas",
+                n_jobs=NASConfig().n_jobs,
+                n_training_jobs=defaults.n_training_jobs,
+            ),
+        ),
+        seeds=tuple(seeds) if seeds is not None else (settings.seed,),
+        scale=scale,
+        settings=settings,
+    )
+
+
 def nas_ensemble(
     seeds: Sequence[int],
     *,
@@ -102,19 +136,12 @@ def nas_ensemble(
     Each replication reproduces :func:`nas_experiment` for that seed
     (identical scenario construction and RNG streams); the returned
     :class:`~repro.experiments.sweep.SweepResult` carries per-metric
-    mean ± std summaries across the ensemble.
+    mean ± std summaries across the ensemble.  Thin wrapper: builds
+    the :func:`nas_spec` and executes it.
     """
-    variant = ScenarioVariant(
-        name=f"NAS N={NASConfig().n_jobs}",
-        workload="nas",
-        n_jobs=NASConfig().n_jobs,
-        n_training_jobs=defaults.n_training_jobs,
-    )
-    return run_sweep(
-        [variant],
-        seeds,
-        settings=settings,
-        scale=scale,
+    return run_spec(
+        nas_spec(seeds=seeds, scale=scale, settings=settings,
+                 defaults=defaults),
         defaults=defaults,
         max_workers=max_workers,
     )

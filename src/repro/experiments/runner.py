@@ -6,6 +6,12 @@ Min-Min and Sufferage in secure / f-risky / risky mode, plus the STGA
 (trained on 500 warmup jobs scheduled by Min-Min).  ``run_lineup``
 reproduces exactly that protocol; individual pieces are exposed for
 the figure-specific drivers.
+
+The lineup itself is *data*: :data:`PAPER_LINEUP` names seven
+scheduler-registry refs (see :mod:`repro.registry`), and
+``run_lineup(lineup=...)`` runs any list of refs — the STGA, with its
+history warm-up, builds through its registry entry like every other
+algorithm, so the runner carries no scheduler-specific branching.
 """
 
 from __future__ import annotations
@@ -21,12 +27,13 @@ from repro.experiments.config import PaperDefaults, RunSettings
 from repro.grid.engine import GridSimulator
 from repro.grid.security import RiskMode
 from repro.heuristics.base import BatchScheduler
-from repro.heuristics.factory import paper_heuristics
 from repro.metrics.report import PerformanceReport, evaluate
+from repro.registry import build_scheduler, register_scheduler
 from repro.util.rng import RngFactory
-from repro.workloads.base import Scenario
+from repro.workloads.base import Scenario, scale_jobs
 
 __all__ = [
+    "PAPER_LINEUP",
     "run_scheduler",
     "make_trained_stga",
     "run_lineup",
@@ -35,12 +42,17 @@ __all__ = [
     "utilization_matrix",
 ]
 
-
-def scale_jobs(n_jobs: int, scale: float) -> int:
-    """Scaled job count, at least 20 so metrics stay meaningful."""
-    if not (0 < scale <= 1.0):
-        raise ValueError(f"scale must be in (0, 1], got {scale}")
-    return max(20, int(round(n_jobs * scale)))
+#: the paper's seven-algorithm lineup (Figures 8-9, Table 2) as
+#: scheduler-registry refs, in presentation order
+PAPER_LINEUP = (
+    "min-min-secure",
+    "min-min-f-risky",
+    "min-min-risky",
+    "sufferage-secure",
+    "sufferage-f-risky",
+    "sufferage-risky",
+    "stga",
+)
 
 
 def run_scheduler(
@@ -73,12 +85,17 @@ def make_trained_stga(
     defaults: PaperDefaults = PaperDefaults(),
     ga_config: GAConfig | None = None,
     mode: RiskMode | str = RiskMode.F_RISKY,
+    history: HistoryTable | None = None,
+    **stga_kwargs,
 ) -> STGAScheduler:
     """Build an STGA with a history table warmed on ``training`` jobs.
 
     ``training=None`` skips the warm-up (the table then fills only
     from the STGA's own batches, the paper's "built from the
-    beginning" alternative).
+    beginning" alternative).  ``history`` overrides the default table
+    (Table 1's capacity 150 / threshold 0.8) for ablations; extra
+    keyword arguments pass through to :class:`STGAScheduler`
+    (``risk_penalty``, ``heuristic_seeds``, ...).
 
     The default gene alphabet is *f-risky* (f = 0.5): under our
     λ = 3.0 failure law, unconstrained risky placements carry higher
@@ -88,10 +105,11 @@ def make_trained_stga(
     the risky heuristics — matching the paper's observation.
     """
     rngs = RngFactory(settings.seed)
-    history = HistoryTable(
-        capacity=defaults.lookup_table_size,
-        threshold=defaults.similarity_threshold,
-    )
+    if history is None:
+        history = HistoryTable(
+            capacity=defaults.lookup_table_size,
+            threshold=defaults.similarity_threshold,
+        )
     if training is not None:
         warmup_history(
             history,
@@ -108,6 +126,62 @@ def make_trained_stga(
         config=ga_config if ga_config is not None else settings.ga,
         rng=rngs.stream("stga"),
         history=history,
+        **stga_kwargs,
+    )
+
+
+@register_scheduler(
+    "stga",
+    description="Space-Time GA with its history lookup table, warmed "
+    "on the training stream (the paper's contribution)",
+    stateful=True,
+)
+def _build_stga(
+    settings,
+    rng,
+    *,
+    scenario=None,
+    training=None,
+    defaults: PaperDefaults | None = None,
+    ga_config=None,
+    mode: RiskMode | str = RiskMode.F_RISKY,
+    capacity: int | None = None,
+    threshold: float | None = None,
+    eviction: str | None = None,
+    **stga_kwargs,
+):
+    """Registry factory wrapping the full warm-up protocol.
+
+    Ref parameters override the history table (``capacity``,
+    ``threshold``, ``eviction``) and any :class:`STGAScheduler`
+    keyword (``risk_penalty``, ``heuristic_seeds``, ...); without
+    parameters this is bit-identical to :func:`make_trained_stga`.
+    """
+    if scenario is None:
+        raise ValueError(
+            "the 'stga' scheduler needs the run's scenario in its "
+            "build context (run_lineup provides it)"
+        )
+    if defaults is None:
+        defaults = PaperDefaults()
+    history = None
+    if capacity is not None or threshold is not None or eviction is not None:
+        history = HistoryTable(
+            capacity=capacity if capacity is not None
+            else defaults.lookup_table_size,
+            threshold=threshold if threshold is not None
+            else defaults.similarity_threshold,
+            eviction=eviction if eviction is not None else "lru",
+        )
+    return make_trained_stga(
+        scenario,
+        training,
+        settings,
+        defaults=defaults,
+        ga_config=ga_config,
+        mode=mode,
+        history=history,
+        **stga_kwargs,
     )
 
 
@@ -120,29 +194,46 @@ def run_lineup(
     ga_config: GAConfig | None = None,
     schedulers: Sequence[BatchScheduler] | None = None,
     include_stga: bool = True,
+    lineup: Sequence[str] | None = None,
 ) -> list[PerformanceReport]:
-    """Run the paper's seven-algorithm line-up on one scenario.
+    """Run a scheduler lineup on one scenario.
+
+    ``lineup`` is a sequence of scheduler-registry refs (default: the
+    paper's seven-algorithm :data:`PAPER_LINEUP`, or its six
+    heuristics when ``include_stga=False``); every ref builds through
+    :func:`repro.registry.build_scheduler` with the run's context
+    (scenario, training stream, paper defaults), so stateful entries
+    like the STGA need no special treatment here.  ``schedulers``
+    instead supplies pre-built instances (legacy API; ``include_stga``
+    then appends the registry-built ``"stga"``).
 
     Every scheduler sees the same scenario and the same engine failure
     stream seed, so differences are purely scheduling decisions.
-    Returns reports in the paper's presentation order.
+    Returns reports in lineup order.
     """
-    lineup: list[BatchScheduler] = (
-        list(schedulers)
-        if schedulers is not None
-        else paper_heuristics(f=defaults.f_risky, lam=settings.lam)
+    if lineup is not None and schedulers is not None:
+        raise ValueError("pass either lineup refs or scheduler instances")
+    context = dict(
+        scenario=scenario,
+        training=training,
+        defaults=defaults,
+        ga_config=ga_config,
     )
-    if include_stga:
-        lineup.append(
-            make_trained_stga(
-                scenario,
-                training,
-                settings,
-                defaults=defaults,
-                ga_config=ga_config,
-            )
+    if schedulers is not None:
+        built = list(schedulers)
+        refs: tuple[str, ...] = ("stga",) if include_stga else ()
+    else:
+        refs = (
+            tuple(lineup)
+            if lineup is not None
+            else (PAPER_LINEUP if include_stga else PAPER_LINEUP[:-1])
         )
-    return [run_scheduler(scenario, sched, settings) for sched in lineup]
+        built = []
+    built.extend(
+        build_scheduler(ref, settings, RngFactory(settings.seed), **context)
+        for ref in refs
+    )
+    return [run_scheduler(scenario, sched, settings) for sched in built]
 
 
 def reports_by_name(

@@ -1,0 +1,210 @@
+"""Declarative experiment specs: scheduler refs x variants x seeds.
+
+An :class:`ExperimentSpec` is the serializable unit of experimental
+work — the FuzzBench experiment-config shape, where a config names
+fuzzers x benchmarks x trials and any worker can execute a shard.
+Here a spec names scheduler-registry refs x scenario variants x
+replication seeds (plus the metrics to report and the shared engine
+settings), JSON round-trips bit-identically, and runs anywhere via
+:func:`run_spec` or ``repro-grid run SPEC.json`` — the shippable unit
+for distributing replications across hosts.
+
+The paper-figure drivers emit specs instead of hard-coding their
+lineups: :func:`repro.experiments.fig8.nas_spec`,
+:func:`repro.experiments.fig10.psa_scaling_spec`,
+:func:`repro.experiments.fig7.frisky_sweep_spec` /
+:func:`~repro.experiments.fig7.stga_iteration_spec`, and
+:func:`repro.experiments.ablation.stga_ablation_spec`; ``repro-grid
+emit-spec fig8`` writes them from the CLI.  Running the fig8 spec at a
+seed reproduces the legacy ``repro-grid fig8`` reports bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.experiments.config import PaperDefaults, RunSettings
+from repro.experiments.sweep import (
+    SWEEP_METRICS,
+    ScenarioVariant,
+    SweepResult,
+    run_sweep,
+)
+from repro.metrics.report import PerformanceReport
+from repro.registry import parse_scheduler_ref, scheduler_spec
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "ExperimentSpec",
+    "run_spec",
+    "save_spec",
+    "load_spec",
+]
+
+SPEC_SCHEMA_VERSION = 1
+
+#: PerformanceReport fields a spec may list as metrics
+_REPORT_METRICS = frozenset(
+    f for f in PerformanceReport.__dataclass_fields__
+    if f not in ("scheduler", "site_utilization")
+) | {"mean_utilization"}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment as data: what to run, on what, how often.
+
+    ``schedulers`` holds scheduler-registry refs (optionally
+    parameterized, e.g. ``"stga?eviction=fifo"``); ``variants`` the
+    scenario grid; ``seeds`` the replications; ``metrics`` the
+    :class:`~repro.metrics.report.PerformanceReport` fields to
+    aggregate and render.  ``settings`` and ``scale`` are the shared
+    engine parameters and workload scale every grid point starts from
+    (variants layer their overrides on top).
+
+    Specs are *structurally* validated at construction (non-empty,
+    distinct names/seeds, known metrics, scale in (0, 1]); scheduler
+    refs resolve against the registry at :meth:`validate` / run time,
+    so a spec can be authored and shipped without the plugin modules
+    that define its entries.
+    """
+
+    name: str
+    schedulers: tuple[str, ...]
+    variants: tuple[ScenarioVariant, ...]
+    seeds: tuple[int, ...]
+    metrics: tuple[str, ...] = SWEEP_METRICS
+    scale: float = 1.0
+    settings: RunSettings = field(default_factory=RunSettings)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedulers", tuple(self.schedulers))
+        object.__setattr__(self, "variants", tuple(self.variants))
+        object.__setattr__(
+            self, "seeds", tuple(int(s) for s in self.seeds)
+        )
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        if not self.name:
+            raise ValueError("a spec needs a name")
+        if not self.schedulers:
+            raise ValueError("a spec needs at least one scheduler ref")
+        if not self.variants:
+            raise ValueError("a spec needs at least one scenario variant")
+        if not self.seeds:
+            raise ValueError("a spec needs at least one replication seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(
+                f"replication seeds must be distinct, got {self.seeds}"
+            )
+        names = [v.name for v in self.variants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"variant names must be distinct, got {names}")
+        if len(set(self.schedulers)) != len(self.schedulers):
+            raise ValueError(
+                f"scheduler refs must be distinct, got {self.schedulers}"
+            )
+        unknown = sorted(set(self.metrics) - _REPORT_METRICS)
+        if unknown:
+            raise ValueError(
+                f"unknown metrics {unknown}; choose from "
+                f"{sorted(_REPORT_METRICS)}"
+            )
+        if not (0 < self.scale <= 1.0):
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+    def validate(self) -> None:
+        """Resolve every scheduler ref against the registry.
+
+        Raises ``KeyError`` (listing the available entries) for
+        unknown names and ``ValueError`` for malformed refs.
+        """
+        for ref in self.schedulers:
+            scheduler_spec(parse_scheduler_ref(ref)[0])
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; :meth:`from_dict` round-trips it
+        bit-identically (floats keep ``repr`` fidelity)."""
+        return {
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "kind": "experiment-spec",
+            "name": self.name,
+            "schedulers": list(self.schedulers),
+            "variants": [asdict(v) for v in self.variants],
+            "seeds": list(self.seeds),
+            "metrics": list(self.metrics),
+            "scale": self.scale,
+            "settings": self.settings.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict`."""
+        version = data.get("schema_version")
+        if version != SPEC_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported spec schema_version {version!r} "
+                f"(this reader supports {SPEC_SCHEMA_VERSION})"
+            )
+        return cls(
+            name=data["name"],
+            schedulers=tuple(data["schedulers"]),
+            variants=tuple(
+                ScenarioVariant(**v) for v in data["variants"]
+            ),
+            seeds=tuple(data["seeds"]),
+            metrics=tuple(data["metrics"]),
+            scale=data["scale"],
+            settings=RunSettings.from_dict(data["settings"]),
+        )
+
+    def to_json(self, *, indent: int = 1) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a spec from its JSON document."""
+        return cls.from_dict(json.loads(text))
+
+
+def save_spec(spec: ExperimentSpec, path: str | Path) -> Path:
+    """Write ``spec`` as JSON at ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(spec.to_json(), encoding="utf-8")
+    return path
+
+
+def load_spec(path: str | Path) -> ExperimentSpec:
+    """Read a spec written by :func:`save_spec`."""
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no experiment spec at {path}")
+    return ExperimentSpec.from_json(path.read_text(encoding="utf-8"))
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    *,
+    defaults: PaperDefaults = PaperDefaults(),
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Execute a spec: the full (variant x seed) grid over its lineup.
+
+    One :func:`~repro.experiments.runner.run_lineup` call per grid
+    point, fanned out over a process pool exactly like
+    :func:`~repro.experiments.sweep.run_sweep` (``max_workers=1``
+    forces the sequential in-process fallback).
+    """
+    spec.validate()
+    return run_sweep(
+        spec.variants,
+        spec.seeds,
+        settings=spec.settings,
+        scale=spec.scale,
+        defaults=defaults,
+        lineup=spec.schedulers,
+        max_workers=max_workers,
+    )

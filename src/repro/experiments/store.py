@@ -73,7 +73,6 @@ from dataclasses import asdict, dataclass, fields
 from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.core.ga import GAConfig
 from repro.experiments.config import RunSettings
 from repro.experiments.sweep import (
     SWEEP_METRICS,
@@ -85,6 +84,7 @@ from repro.metrics.report import PerformanceReport
 
 __all__ = [
     "SCHEMA_VERSION",
+    "GATE_METRICS",
     "StoredRun",
     "new_run_dir",
     "save_run",
@@ -92,6 +92,7 @@ __all__ = [
     "load_run",
     "list_runs",
     "compare_runs",
+    "find_regressions",
 ]
 
 SCHEMA_VERSION = 1
@@ -144,15 +145,11 @@ def _git_sha() -> str | None:
 
 
 def _settings_to_dict(settings: RunSettings | None) -> dict | None:
-    return None if settings is None else asdict(settings)
+    return None if settings is None else settings.to_dict()
 
 
 def _settings_from_dict(data: dict | None) -> RunSettings | None:
-    if data is None:
-        return None
-    kwargs = dict(data)
-    kwargs["ga"] = GAConfig(**kwargs["ga"])
-    return RunSettings(**kwargs)
+    return None if data is None else RunSettings.from_dict(data)
 
 
 def new_run_dir(root: str | Path, name: str = "sweep") -> Path:
@@ -370,3 +367,40 @@ def compare_runs(
             "the two runs share no (variant, scheduler) cell to compare"
         )
     return rows
+
+
+#: metrics the regression gate judges — every sweep metric where a
+#: larger value is unambiguously worse.  N_risk is deliberately
+#: excluded: more risk-taking is the paper's *expected* behaviour for
+#: the risky modes, not a quality regression.
+GATE_METRICS = ("makespan", "avg_response_time", "slowdown_ratio", "n_fail")
+
+
+def find_regressions(
+    rows,
+    *,
+    threshold_pct: float = 5.0,
+    metrics: tuple[str, ...] = GATE_METRICS,
+) -> list[RunDiffRow]:
+    """Cells where run B is statistically, materially worse than A.
+
+    A cell regresses when all three hold: the metric is one the gate
+    judges (larger = worse), the CIs are disjoint (verdict
+    ``"diverged"`` — the shift is outside replication noise), and the
+    mean rose by more than ``threshold_pct`` percent of the baseline
+    (any rise counts when the baseline mean is 0, e.g. N_fail going
+    0 -> 5).  Used by ``repro-grid compare-runs --fail-on-regression``.
+    """
+    if threshold_pct < 0:
+        raise ValueError(
+            f"threshold_pct must be >= 0, got {threshold_pct}"
+        )
+    out = []
+    for r in rows:
+        if r.metric not in metrics or r.verdict != "diverged":
+            continue
+        if r.mean_b <= r.mean_a:
+            continue  # improved or unchanged
+        if r.mean_a == 0 or r.shift_pct > threshold_pct:
+            out.append(r)
+    return out

@@ -40,19 +40,18 @@ import os
 import time
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from repro.core.ga import GAConfig
 from repro.experiments.config import PaperDefaults, RunSettings
-from repro.experiments.runner import reports_by_name, run_lineup, scale_jobs
+from repro.experiments.runner import reports_by_name, run_lineup
 from repro.metrics.report import PerformanceReport
+from repro.registry import build_workload, validate_variant, workload_spec
 from repro.util.stats import t_critical
 from repro.util.tables import render_table
 from repro.workloads.base import Scenario
-from repro.workloads.nas import NASConfig, nas_scenario, nas_site_plan
-from repro.workloads.psa import PSAConfig, psa_scenario
 
 __all__ = [
     "ScenarioVariant",
@@ -84,7 +83,10 @@ class ScenarioVariant:
     A variant pins the workload side (generator, job count, grid
     size, arrival intensity) and any engine overrides (λ, batch
     interval, GA hyper-parameters); the replication seed stays free —
-    the sweep crosses every variant with every seed.
+    the sweep crosses every variant with every seed.  ``workload``
+    names a workload-registry entry (built-ins: ``"psa"``, ``"nas"``;
+    see :mod:`repro.registry` for registering more), which both
+    validates the variant's knobs and builds its scenarios.
 
     ``n_sites`` sizes the grid for either workload: the PSA generator
     directly, NAS via :func:`~repro.workloads.nas.nas_site_plan`
@@ -112,10 +114,10 @@ class ScenarioVariant:
     ga_overrides: dict | tuple | None = None
 
     def __post_init__(self) -> None:
-        if self.workload not in ("psa", "nas"):
-            raise ValueError(
-                f"workload must be 'psa' or 'nas', got {self.workload!r}"
-            )
+        try:
+            workload_spec(self.workload)  # unknown names raise, listing
+        except KeyError as exc:
+            raise ValueError(exc.args[0]) from None
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
         if self.n_training_jobs < 0:
@@ -124,12 +126,9 @@ class ScenarioVariant:
             )
         if self.n_sites is not None and self.n_sites < 1:
             raise ValueError(f"n_sites must be >= 1, got {self.n_sites}")
-        if self.workload == "nas" and self.arrival_rate is not None:
-            raise ValueError(
-                "arrival_rate is a PSA-only knob (NAS arrivals follow "
-                "the trace's daily-cycle profile); use n_sites for NAS "
-                "grid-layout variants"
-            )
+        # workload-specific knob policy lives with the generator
+        # (e.g. NAS rejects arrival_rate)
+        validate_variant(self)
         if self.ga_overrides is not None:
             overrides = dict(self.ga_overrides)
             valid = {f.name for f in fields(GAConfig)}
@@ -156,50 +155,13 @@ class ScenarioVariant:
     ) -> tuple[Scenario, Scenario | None]:
         """(scenario, training) for one replication.
 
-        Mirrors the figure drivers exactly: workload rng = ``seed``,
-        training rng = ``seed + 7919``, job counts through
-        :func:`~repro.experiments.runner.scale_jobs`.
+        Delegates to the variant's workload-registry entry, which
+        mirrors the figure drivers exactly: workload rng = ``seed``,
+        training rng = ``seed +
+        :data:`~repro.workloads.base.TRAINING_SEED_OFFSET`\\ ``, job
+        counts through :func:`~repro.workloads.base.scale_jobs`.
         """
-        n = scale_jobs(self.n_jobs, scale)
-        n_train = (
-            scale_jobs(self.n_training_jobs, scale)
-            if self.n_training_jobs
-            else 0
-        )
-        if self.workload == "psa":
-            cfg = PSAConfig(n_jobs=n)
-            if self.n_sites is not None:
-                cfg = replace(cfg, n_sites=self.n_sites)
-            if self.arrival_rate is not None:
-                cfg = replace(cfg, arrival_rate=self.arrival_rate)
-            scenario = psa_scenario(cfg, rng=seed)
-            # The training stream inherits the variant's overrides
-            # (same arrival intensity etc.) so the warm-up resembles
-            # the live workload; only the grid of `scenario` matters
-            # downstream (warmup_history trains on scenario.grid).
-            training = (
-                psa_scenario(replace(cfg, n_jobs=n_train), rng=seed + 7919)
-                if n_train
-                else None
-            )
-            return scenario, training
-        # NAS — replicate fig8's squeezed-horizon scaling so a 1-seed
-        # sweep reproduces nas_experiment() bit for bit.
-        base = NASConfig(n_jobs=self.n_jobs)
-        if self.n_sites is not None:
-            base = replace(base, site_nodes=nas_site_plan(self.n_sites))
-        days = max(2, int(round(base.trace_days * scale)))
-        scenario = nas_scenario(
-            replace(base, n_jobs=n, trace_days=days), rng=seed
-        )
-        training = None
-        if n_train:
-            train_days = max(1, int(round(days * n_train / max(n, 1))))
-            training = nas_scenario(
-                replace(base, n_jobs=n_train, trace_days=train_days),
-                rng=seed + 7919,
-            )
-        return scenario, training
+        return build_workload(self, seed, scale)
 
 
 @dataclass(frozen=True)
@@ -212,6 +174,7 @@ class _SweepTask:
     settings: RunSettings
     defaults: PaperDefaults
     include_stga: bool
+    lineup: tuple[str, ...] | None = None
 
 
 def _run_task(task: _SweepTask) -> list[PerformanceReport]:
@@ -224,6 +187,7 @@ def _run_task(task: _SweepTask) -> list[PerformanceReport]:
         settings,
         defaults=task.defaults,
         include_stga=task.include_stga,
+        lineup=task.lineup,
     )
 
 
@@ -437,18 +401,21 @@ def run_sweep(
     scale: float = 1.0,
     defaults: PaperDefaults = PaperDefaults(),
     include_stga: bool = True,
+    lineup: Sequence[str] | None = None,
     max_workers: int | None = None,
 ) -> SweepResult:
     """Run the full (variant x seed) grid and aggregate the reports.
 
-    Each grid point is one :func:`run_lineup` call — the paper's
-    seven heuristics plus (optionally) the STGA on one freshly
-    generated scenario.  Grid points are independent, so they fan out
-    over a process pool; ``max_workers=1`` runs them sequentially
-    in-process with identical results.
+    Each grid point is one :func:`run_lineup` call — by default the
+    paper's lineup (optionally without the STGA), or any list of
+    scheduler-registry refs via ``lineup`` — on one freshly generated
+    scenario.  Grid points are independent, so they fan out over a
+    process pool; ``max_workers=1`` runs them sequentially in-process
+    with identical results.
     """
     variants = tuple(variants)
     seeds = tuple(int(s) for s in seeds)
+    lineup = tuple(lineup) if lineup is not None else None
     if not variants:
         raise ValueError("need at least one scenario variant")
     if not seeds:
@@ -467,6 +434,7 @@ def run_sweep(
             settings=settings,
             defaults=defaults,
             include_stga=include_stga,
+            lineup=lineup,
         )
         for v in variants
         for s in seeds

@@ -8,14 +8,17 @@ average response time.  The paper reports (NAS trace): secure ≈
 
 from __future__ import annotations
 
-from repro.experiments.fig8 import NASExperimentResult
+from dataclasses import replace
+
+from repro.experiments.fig8 import NASExperimentResult, nas_spec
+from repro.experiments.spec import ExperimentSpec
 from repro.metrics.compare import (
     ComparisonRow,
     compare_to_reference,
     render_comparison,
 )
 
-__all__ = ["table2_rows", "render_table2", "PAPER_TABLE2"]
+__all__ = ["table2_rows", "table2_spec", "render_table2", "PAPER_TABLE2"]
 
 #: the paper's published values, for side-by-side printing
 PAPER_TABLE2 = {
@@ -32,6 +35,12 @@ PAPER_TABLE2 = {
 def table2_rows(result: NASExperimentResult) -> list[ComparisonRow]:
     """Compute the measured Table 2 from a NAS experiment."""
     return compare_to_reference(list(result.reports), reference="STGA")
+
+
+def table2_spec(**kwargs) -> ExperimentSpec:
+    """Table 2 as a declarative spec — the same runs as Figure 8
+    (:func:`~repro.experiments.fig8.nas_spec`) under its own name."""
+    return replace(nas_spec(**kwargs), name="table2-nas")
 
 
 def render_table2(result: NASExperimentResult) -> str:

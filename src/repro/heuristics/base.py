@@ -73,9 +73,15 @@ class SecurityDrivenScheduler(BatchScheduler):
         self.mode = RiskMode.parse(mode)
         self.f = check_probability("f", f)
         self.lam = check_positive("lam", lam)
+        #: optional report-name override; registry refs set it via the
+        #: reserved ``label`` parameter so two parameterizations of one
+        #: algorithm can share a lineup without name collisions
+        self.label: str | None = None
 
     @property
     def name(self) -> str:
+        if self.label is not None:
+            return self.label
         if self.mode is RiskMode.F_RISKY:
             return f"{self.algorithm} f-Risky(f={self.f:g})"
         return f"{self.algorithm} {self.mode.value.capitalize()}"

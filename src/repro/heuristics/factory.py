@@ -2,9 +2,16 @@
 
 ``paper_heuristics()`` returns the six security-driven heuristics of
 Section 4 (Min-Min and Sufferage, each in secure / f-risky / risky
-mode) in the paper's presentation order; the STGA is appended by the
-experiment runner because it carries per-run state (the history
-table).
+mode) in the paper's presentation order; the STGA joins the lineup
+through the scheduler registry (see :mod:`repro.registry` and the
+``"stga"`` entry in :mod:`repro.experiments.runner`).
+
+Every (algorithm, risk mode) pair also registers as a scheduler-
+registry entry named ``"<algorithm>-<mode>"`` (``"min-min-risky"``,
+``"sufferage-f-risky"``, ...), with the bare algorithm name aliased to
+its secure mode — the same default :func:`make_heuristic` uses.  Refs
+accept an ``f`` parameter (``"min-min-f-risky?f=0.3"``) overriding the
+defaults' f = 0.5.
 """
 
 from __future__ import annotations
@@ -19,8 +26,14 @@ from repro.heuristics.minmin import MinMinScheduler
 from repro.heuristics.olb import OLBScheduler
 from repro.heuristics.random_sched import RandomScheduler
 from repro.heuristics.sufferage import SufferageScheduler
+from repro.registry import register_scheduler
 
-__all__ = ["HEURISTIC_CLASSES", "make_heuristic", "paper_heuristics"]
+__all__ = [
+    "HEURISTIC_CLASSES",
+    "HEURISTIC_MODES",
+    "make_heuristic",
+    "paper_heuristics",
+]
 
 HEURISTIC_CLASSES = {
     "min-min": MinMinScheduler,
@@ -32,6 +45,56 @@ HEURISTIC_CLASSES = {
     "olb": OLBScheduler,
     "random": RandomScheduler,
 }
+
+#: registry-name suffix -> risk mode, in the paper's column order
+HEURISTIC_MODES = {
+    "secure": RiskMode.SECURE,
+    "f-risky": RiskMode.F_RISKY,
+    "risky": RiskMode.RISKY,
+}
+
+
+def _register_heuristics() -> None:
+    """One registry entry per (algorithm, risk mode) pair."""
+    for algo in HEURISTIC_CLASSES:
+        for mode_key, mode in HEURISTIC_MODES.items():
+
+            def _build(
+                settings,
+                rng,
+                *,
+                defaults=None,
+                scenario=None,  # per-run context, unused by heuristics
+                training=None,
+                ga_config=None,
+                f=None,
+                _algo=algo,
+                _mode=mode,
+                **params,
+            ):
+                if f is None:
+                    f = defaults.f_risky if defaults is not None else 0.5
+                if _algo == "random":
+                    params.setdefault(
+                        "rng", rng.stream("random-scheduler")
+                    )
+                return make_heuristic(
+                    _algo, _mode, f=float(f), lam=settings.lam, **params
+                )
+
+            register_scheduler(
+                f"{algo}-{mode_key}",
+                description=(
+                    f"{HEURISTIC_CLASSES[algo].algorithm} heuristic, "
+                    f"{mode_key} mode"
+                ),
+                # the bare algorithm name means secure mode, matching
+                # make_heuristic's default
+                aliases=(algo,) if mode is RiskMode.SECURE else (),
+            )(_build)
+
+
+_register_heuristics()
 
 
 def make_heuristic(

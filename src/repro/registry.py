@@ -1,0 +1,353 @@
+"""Scheduler and workload plugin registries.
+
+The paper's whole methodology is "evaluate N algorithms on identical
+event streams", so the algorithm lineup and the workload generators
+are *data*, not code: every scheduler and every workload generator is
+a named registry entry, and a declarative
+:class:`~repro.experiments.spec.ExperimentSpec` crosses scheduler refs
+x scenario variants x seeds (the FuzzBench experiment-config shape).
+
+Schedulers
+----------
+A :class:`SchedulerSpec` wraps a factory with signature ::
+
+    build(settings: RunSettings, rng: RngFactory, **context) -> BatchScheduler
+
+``settings`` carries the engine parameters (λ, batch interval, seed,
+GA config), ``rng`` is an :class:`~repro.util.rng.RngFactory` rooted
+at ``settings.seed`` (its named streams are order-independent, so
+factories may also root their own — bit-identical either way), and
+``context`` supplies per-run objects that only stateful schedulers
+need: ``scenario``, ``training`` (the warm-up stream), ``defaults``
+(:class:`~repro.experiments.config.PaperDefaults`) and ``ga_config``.
+Factories that need none of it declare ``**_`` and ignore it — this is
+what makes stateful, per-run schedulers (the STGA with its history
+warm-up) first-class registry citizens instead of a special case in
+the experiment runner.
+
+Registering a scheduler::
+
+    from repro.registry import register_scheduler
+
+    @register_scheduler("my-sched", description="...")
+    def _build(settings, rng, **_):
+        return MySched(lam=settings.lam)
+
+Scheduler *refs* (the strings an experiment spec carries) may append
+``?key=value&key=value`` parameters that are forwarded to the factory
+as keyword arguments, e.g. ``"min-min-f-risky?f=0.3"`` or
+``"stga?eviction=fifo&label=STGA-FIFO"``.  Values parse as JSON
+scalars when possible (ints, floats, booleans, null) and fall back to
+plain strings.
+
+Workloads
+---------
+A :class:`WorkloadSpec` wraps a scenario builder ::
+
+    build(variant, seed: int, scale: float) -> (Scenario, Scenario | None)
+
+returning the live scenario and the (optional) training stream for one
+replication of a :class:`~repro.experiments.sweep.ScenarioVariant`.
+An optional ``validate(variant)`` hook lets a generator reject knobs
+it does not support (e.g. NAS rejects ``arrival_rate``), keeping the
+policy next to the generator instead of hard-coded in the sweep.
+
+Built-in entries register where they are defined (the six paper
+heuristics and the extra baselines in
+:mod:`repro.heuristics.factory`, the conventional GA in
+:mod:`repro.core.stga`, the STGA in
+:mod:`repro.experiments.runner`, the PSA/NAS generators in
+:mod:`repro.workloads`); lookups lazily import those modules, so
+``build_scheduler("stga", ...)`` works without manual imports.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SchedulerSpec",
+    "WorkloadSpec",
+    "register_scheduler",
+    "register_workload",
+    "unregister_scheduler",
+    "unregister_workload",
+    "scheduler_spec",
+    "workload_spec",
+    "available_schedulers",
+    "available_workloads",
+    "parse_scheduler_ref",
+    "build_scheduler",
+    "build_workload",
+    "validate_variant",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """One registered scheduler: a name, a factory, documentation."""
+
+    name: str
+    build: Callable
+    description: str = ""
+    aliases: tuple[str, ...] = ()
+    #: carries per-run state (history tables, RNG streams); informational
+    stateful: bool = False
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload generator."""
+
+    name: str
+    build: Callable
+    description: str = ""
+    #: optional hook rejecting ScenarioVariant knobs the generator
+    #: does not support; raises ValueError on bad variants
+    validate: Callable | None = field(default=None, compare=False)
+
+
+_SCHEDULERS: dict[str, SchedulerSpec] = {}
+_SCHEDULER_ALIASES: dict[str, str] = {}
+_WORKLOADS: dict[str, WorkloadSpec] = {}
+
+#: modules whose import registers the built-in entries
+_BUILTIN_MODULES = (
+    "repro.heuristics.factory",
+    "repro.core.stga",
+    "repro.experiments.runner",
+    "repro.workloads.psa",
+    "repro.workloads.nas",
+)
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Import the modules that register the built-in entries (once)."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    import importlib
+
+    for mod in _BUILTIN_MODULES:
+        importlib.import_module(mod)
+
+
+def register_scheduler(
+    name: str,
+    *,
+    description: str = "",
+    aliases: Iterable[str] = (),
+    stateful: bool = False,
+) -> Callable:
+    """Decorator registering a scheduler factory under ``name``.
+
+    Duplicate names (including alias collisions) raise ``ValueError``
+    — silently shadowing an algorithm would corrupt every spec that
+    references it.
+    """
+
+    aliases = tuple(aliases)
+
+    def _register(build: Callable) -> Callable:
+        spec = SchedulerSpec(
+            name=name,
+            build=build,
+            description=description,
+            aliases=aliases,
+            stateful=stateful,
+        )
+        for key in (name, *aliases):
+            if key in _SCHEDULERS or key in _SCHEDULER_ALIASES:
+                raise ValueError(
+                    f"scheduler {key!r} is already registered"
+                )
+        _SCHEDULERS[name] = spec
+        for alias in aliases:
+            _SCHEDULER_ALIASES[alias] = name
+        return build
+
+    return _register
+
+
+def register_workload(
+    name: str, *, description: str = "", validate: Callable | None = None
+) -> Callable:
+    """Decorator registering a workload scenario builder under ``name``."""
+
+    def _register(build: Callable) -> Callable:
+        if name in _WORKLOADS:
+            raise ValueError(f"workload {name!r} is already registered")
+        _WORKLOADS[name] = WorkloadSpec(
+            name=name, build=build, description=description, validate=validate
+        )
+        return build
+
+    return _register
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove a registered scheduler (for plugin tests).
+
+    Given an alias, only the alias mapping is removed (the canonical
+    entry stays); given a canonical name, the entry and all its
+    aliases go.  An unknown name is a no-op.
+    """
+    if name in _SCHEDULER_ALIASES:
+        _SCHEDULER_ALIASES.pop(name)
+        return
+    spec = _SCHEDULERS.pop(name, None)
+    if spec is not None:
+        for alias in spec.aliases:
+            _SCHEDULER_ALIASES.pop(alias, None)
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a registered workload (for plugin tests); missing is a no-op."""
+    _WORKLOADS.pop(name, None)
+
+
+def scheduler_spec(name: str) -> SchedulerSpec:
+    """Look up a scheduler entry by name or alias.
+
+    Unknown names raise ``KeyError`` listing every available entry.
+    """
+    _ensure_builtins()
+    canonical = _SCHEDULER_ALIASES.get(name, name)
+    try:
+        return _SCHEDULERS[canonical]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: "
+            f"{', '.join(available_schedulers())}"
+        ) from None
+
+
+def workload_spec(name: str) -> WorkloadSpec:
+    """Look up a workload entry; unknown names list the alternatives."""
+    _ensure_builtins()
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(available_workloads())}"
+        ) from None
+
+
+def available_schedulers() -> tuple[str, ...]:
+    """Registered scheduler names (canonical, sorted)."""
+    _ensure_builtins()
+    return tuple(sorted(_SCHEDULERS))
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Registered workload names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_WORKLOADS))
+
+
+def _parse_scalar(raw: str):
+    """JSON scalar if possible (int/float/bool/null), else the string."""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def parse_scheduler_ref(ref: str) -> tuple[str, dict]:
+    """Split ``"name?key=value&..."`` into (name, params).
+
+    The bare name passes through with empty params.  Malformed
+    parameter segments (missing ``=``, empty keys) raise ValueError.
+    """
+    name, sep, query = ref.partition("?")
+    if not name:
+        raise ValueError(f"scheduler ref {ref!r} has an empty name")
+    params: dict = {}
+    if sep and query:
+        for item in query.split("&"):
+            key, eq, raw = item.partition("=")
+            if not eq or not key:
+                raise ValueError(
+                    f"bad parameter {item!r} in scheduler ref {ref!r} "
+                    "(expected key=value)"
+                )
+            params[key] = _parse_scalar(raw)
+    return name, params
+
+
+class _LabeledScheduler:
+    """Rename proxy for schedulers whose ``name`` ignores ``label``.
+
+    Delegates everything to the wrapped scheduler; only the report
+    name changes.  Used by :func:`build_scheduler` so the reserved
+    ``label`` ref parameter works for *any* ``BatchScheduler``, not
+    just classes that consult a ``label`` attribute themselves.
+    """
+
+    def __init__(self, inner, label: str) -> None:
+        self._inner = inner
+        self._label = label
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    def schedule(self, batch):
+        return self._inner.schedule(batch)
+
+    def __getattr__(self, attr):
+        return getattr(self._inner, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Labeled {self._label!r} of {self._inner!r}>"
+
+
+def build_scheduler(ref: str, settings, rng=None, **context):
+    """Instantiate the scheduler a ref names.
+
+    ``ref`` may carry ``?key=value`` factory parameters; the reserved
+    ``label`` parameter overrides the scheduler's report name (so two
+    parameterizations of one algorithm can share a lineup).  ``rng``
+    defaults to a fresh :class:`~repro.util.rng.RngFactory` rooted at
+    ``settings.seed``.
+    """
+    from repro.util.rng import RngFactory
+
+    name, params = parse_scheduler_ref(ref)
+    spec = scheduler_spec(name)
+    label = params.pop("label", None)
+    if rng is None:
+        rng = RngFactory(settings.seed)
+    sched = spec.build(settings, rng, **context, **params)
+    if label is not None:
+        label = str(label)
+        # the built-in base classes honour a `label` attribute; wrap
+        # anything that doesn't so the rename never silently drops
+        try:
+            sched.label = label
+        except AttributeError:  # e.g. __slots__ schedulers
+            pass
+        if sched.name != label:
+            sched = _LabeledScheduler(sched, label)
+    return sched
+
+
+def build_workload(variant, seed: int, scale: float = 1.0):
+    """(scenario, training) for one replication of ``variant``.
+
+    Dispatches on ``variant.workload``; see :class:`WorkloadSpec` for
+    the builder contract.
+    """
+    return workload_spec(variant.workload).build(variant, seed, scale)
+
+
+def validate_variant(variant) -> None:
+    """Run the workload's variant validator (if any); raises ValueError."""
+    spec = workload_spec(variant.workload)
+    if spec.validate is not None:
+        spec.validate(variant)

@@ -15,7 +15,18 @@ import numpy as np
 from repro.grid.job import Job
 from repro.grid.site import Grid
 
-__all__ = ["Scenario"]
+__all__ = ["Scenario", "scale_jobs", "TRAINING_SEED_OFFSET"]
+
+#: offset between a replication's workload seed and its STGA
+#: training-stream seed (a prime, so seed grids never collide)
+TRAINING_SEED_OFFSET = 7919
+
+
+def scale_jobs(n_jobs: int, scale: float) -> int:
+    """Scaled job count, at least 20 so metrics stay meaningful."""
+    if not (0 < scale <= 1.0):
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    return max(20, int(round(n_jobs * scale)))
 
 
 @dataclass(frozen=True)

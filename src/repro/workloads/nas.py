@@ -23,16 +23,17 @@ DESIGN.md §3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.grid.job import Job
 from repro.grid.site import Grid
+from repro.registry import register_workload
 from repro.util.rng import as_generator
 from repro.util.validation import check_positive
 from repro.workloads.arrivals import cyclic_arrivals, hourly_rate_profile
-from repro.workloads.base import Scenario
+from repro.workloads.base import TRAINING_SEED_OFFSET, Scenario, scale_jobs
 from repro.workloads.security import (
     SD_RANGE,
     SL_RANGE,
@@ -167,3 +168,49 @@ def nas_scenario(
     return Scenario(
         name=f"NAS(N={config.n_jobs}, {days_eff:g}d)", grid=grid, jobs=jobs
     )
+
+
+def _validate_nas_variant(variant) -> None:
+    """NAS arrivals follow the trace's daily-cycle profile."""
+    if variant.arrival_rate is not None:
+        raise ValueError(
+            "arrival_rate is a PSA-only knob (NAS arrivals follow "
+            "the trace's daily-cycle profile); use n_sites for NAS "
+            "grid-layout variants"
+        )
+
+
+@register_workload(
+    "nas",
+    description="synthetic NAS iPSC/860 trace, daily-cycle arrivals "
+    "(Table 1: 16000 jobs on 4x16 + 8x8 node sites)",
+    validate=_validate_nas_variant,
+)
+def _nas_variant_scenarios(variant, seed: int, scale: float = 1.0):
+    """Build (scenario, training) for one sweep replication.
+
+    Replicates fig8's squeezed-horizon scaling — the trace-day count
+    shrinks with ``scale`` so arrival pressure per day is preserved —
+    and a 1-seed build reproduces ``nas_experiment()`` bit for bit.
+    """
+    n = scale_jobs(variant.n_jobs, scale)
+    n_train = (
+        scale_jobs(variant.n_training_jobs, scale)
+        if variant.n_training_jobs
+        else 0
+    )
+    base = NASConfig(n_jobs=variant.n_jobs)
+    if variant.n_sites is not None:
+        base = replace(base, site_nodes=nas_site_plan(variant.n_sites))
+    days = max(2, int(round(base.trace_days * scale)))
+    scenario = nas_scenario(
+        replace(base, n_jobs=n, trace_days=days), rng=seed
+    )
+    training = None
+    if n_train:
+        train_days = max(1, int(round(days * n_train / max(n, 1))))
+        training = nas_scenario(
+            replace(base, n_jobs=n_train, trace_days=train_days),
+            rng=seed + TRAINING_SEED_OFFSET,
+        )
+    return scenario, training

@@ -23,16 +23,17 @@ pass ``max_workload=300_000`` for the literal reading.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.grid.job import Job
 from repro.grid.site import Grid
+from repro.registry import register_workload
 from repro.util.rng import as_generator
 from repro.util.validation import check_positive
 from repro.workloads.arrivals import poisson_arrivals
-from repro.workloads.base import Scenario
+from repro.workloads.base import TRAINING_SEED_OFFSET, Scenario, scale_jobs
 from repro.workloads.security import (
     SD_RANGE,
     SL_RANGE,
@@ -107,3 +108,40 @@ def psa_scenario(
         for i in range(config.n_jobs)
     )
     return Scenario(name=f"PSA(N={config.n_jobs})", grid=grid, jobs=jobs)
+
+
+@register_workload(
+    "psa",
+    description="Parameter-Sweep Application stream, Poisson arrivals "
+    "(Table 1: 5000 jobs on 20 sites)",
+)
+def _psa_variant_scenarios(variant, seed: int, scale: float = 1.0):
+    """Build (scenario, training) for one sweep replication.
+
+    Mirrors the figure drivers exactly: workload rng = ``seed``,
+    training rng = ``seed + TRAINING_SEED_OFFSET``, job counts through
+    :func:`~repro.workloads.base.scale_jobs`.  The training stream
+    inherits the variant's overrides (same arrival intensity etc.) so
+    the warm-up resembles the live workload; only the grid of the live
+    scenario matters downstream (``warmup_history`` trains on it).
+    """
+    n = scale_jobs(variant.n_jobs, scale)
+    n_train = (
+        scale_jobs(variant.n_training_jobs, scale)
+        if variant.n_training_jobs
+        else 0
+    )
+    cfg = PSAConfig(n_jobs=n)
+    if variant.n_sites is not None:
+        cfg = replace(cfg, n_sites=variant.n_sites)
+    if variant.arrival_rate is not None:
+        cfg = replace(cfg, arrival_rate=variant.arrival_rate)
+    scenario = psa_scenario(cfg, rng=seed)
+    training = (
+        psa_scenario(
+            replace(cfg, n_jobs=n_train), rng=seed + TRAINING_SEED_OFFSET
+        )
+        if n_train
+        else None
+    )
+    return scenario, training

@@ -1,5 +1,7 @@
 """Tests for the repro-grid CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,6 +22,14 @@ class TestParser:
         args = build_parser().parse_args(["table2"])
         assert args.seed == 2005
         assert args.lam == 3.0
+
+    def test_no_subcommand_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "repro-grid" in capsys.readouterr().out
 
 
 class TestMain:
@@ -90,7 +100,6 @@ class TestMain:
         assert main(["compare-runs", out_dir, out_dir]) == 0
         out = capsys.readouterr().out
         assert "Run diff" in out
-        assert "diverged" not in out.splitlines()[-1] or "0 diverged" in out
         assert "0 diverged" in out
         # every cell reports a zero mean shift
         from repro.experiments.store import compare_runs
@@ -98,8 +107,9 @@ class TestMain:
         assert all(r.mean_shift == 0.0 for r in compare_runs(out_dir, out_dir))
 
     def test_compare_runs_wrong_arity(self, capsys, tmp_path):
+        # the missing RUN_B is an argparse usage error now
         assert main(["compare-runs", str(tmp_path)]) == 2
-        assert "exactly two" in capsys.readouterr().err
+        assert "RUN_B" in capsys.readouterr().err
 
     def test_compare_runs_missing_record(self, capsys, tmp_path):
         a = str(tmp_path / "a")
@@ -116,10 +126,208 @@ class TestMain:
         assert "malformed run record" in capsys.readouterr().err
 
     def test_runs_positional_rejected_elsewhere(self, capsys):
+        # a stray RUN_DIR after a figure experiment must error out,
+        # not be silently ignored
         assert main(["fig8", "runs/x"]) == 2
-        assert "compare-runs" in capsys.readouterr().err
+        assert "unrecognized arguments" in capsys.readouterr().err
 
     def test_out_rejected_outside_sweep(self, capsys, tmp_path):
         # --out must not be silently ignored for other experiments
         assert main(["fig8", "--out", str(tmp_path / "x")]) == 2
-        assert "sweep" in capsys.readouterr().err
+        assert "unrecognized arguments" in capsys.readouterr().err
+
+
+class TestRegistryCommand:
+    def test_lists_schedulers_and_workloads(self, capsys):
+        assert main(["registry"]) == 0
+        out = capsys.readouterr().out
+        assert "stga" in out
+        assert "min-min-risky" in out
+        assert "psa" in out
+        assert "nas" in out
+
+
+class TestSpecCommands:
+    def test_emit_spec_stdout_is_valid_json(self, capsys):
+        assert main(["emit-spec", "fig8", "--scale", "0.002"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "experiment-spec"
+        assert payload["schedulers"][-1] == "stga"
+        assert payload["scale"] == 0.002
+
+    def test_emit_spec_unknown_builder(self, capsys):
+        assert main(["emit-spec", "fig99"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_emit_then_run_spec(self, capsys, tmp_path):
+        spec_file = str(tmp_path / "spec.json")
+        assert main([
+            "emit-spec", "fig7a", "--scale", "0.002", "--out", spec_file,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "run", spec_file, "--max-workers", "1",
+            "--out", str(tmp_path / "rec"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a-frisky-sweep" in out
+        assert "Sweep: makespan" in out
+        assert "saved run record" in out
+
+    def test_run_missing_spec(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "bad experiment spec" in capsys.readouterr().err
+
+    def test_run_malformed_spec(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema_version": 99}')
+        assert main(["run", str(bad)]) == 2
+        assert "bad experiment spec" in capsys.readouterr().err
+
+    def test_run_duplicate_report_names_exit_2(self, capsys, tmp_path):
+        # two refs that build distinct schedulers with one report name
+        # must exit 2 with a message, not traceback mid-aggregation
+        from repro.experiments.fig8 import nas_spec
+
+        payload = nas_spec(scale=0.002).to_dict()
+        payload["schedulers"] = [
+            "min-min-f-risky", "min-min-f-risky?f=0.5",
+        ]
+        bad = tmp_path / "dup.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["run", str(bad), "--max-workers", "1"]) == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_run_colliding_factory_param_exit_2(self, capsys, tmp_path):
+        # `lam` is factory-fixed (comes from settings); a ref that
+        # passes it again must be a clean error
+        from repro.experiments.fig8 import nas_spec
+
+        payload = nas_spec(scale=0.002).to_dict()
+        payload["schedulers"] = ["min-min-risky?lam=2.0"]
+        bad = tmp_path / "collide.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["run", str(bad), "--max-workers", "1"]) == 2
+        assert "failed" in capsys.readouterr().err
+
+    def test_run_unknown_scheduler_ref(self, capsys, tmp_path):
+        from repro.experiments.fig8 import nas_spec
+        from repro.experiments.spec import save_spec
+
+        spec = nas_spec(scale=0.002)
+        payload = spec.to_dict()
+        payload["schedulers"] = ["no-such-algorithm"]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["run", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-algorithm" in err
+        assert "available" in err
+
+
+class TestRegressionGate:
+    def _save_run(self, tmp_path, name, makespans, n_fail=0):
+        """A minimal 1-variant, 1-scheduler stored run with the given
+        per-seed makespans."""
+        from dataclasses import replace
+
+        from repro.experiments.config import RunSettings
+        from repro.experiments.store import save_run
+        from repro.experiments.sweep import (
+            ScenarioVariant,
+            SweepResult,
+        )
+        from repro.metrics.report import PerformanceReport
+        import numpy as np
+
+        base = PerformanceReport(
+            scheduler="Min-Min Risky",
+            n_jobs=10,
+            makespan=1.0,
+            avg_response_time=1.0,
+            avg_service_span=1.0,
+            slowdown_ratio=1.0,
+            n_risk=0,
+            n_fail=0,
+            n_forced=0,
+            total_attempts=10,
+            site_utilization=np.zeros(2),
+            scheduler_seconds=0.0,
+            n_batches=1,
+        )
+        reports = tuple(
+            replace(base, makespan=m, n_fail=n_fail) for m in makespans
+        )
+        res = SweepResult(
+            variants=(ScenarioVariant(name="v", n_jobs=100),),
+            seeds=tuple(range(len(makespans))),
+            reports={"v": {"Min-Min Risky": reports}},
+            settings=RunSettings(),
+            scale=0.01,
+        )
+        return str(save_run(res, tmp_path / name))
+
+    def test_gate_clean_on_identical_runs(self, capsys, tmp_path):
+        a = self._save_run(tmp_path, "a", (100.0, 101.0))
+        assert main([
+            "compare-runs", a, a, "--fail-on-regression",
+        ]) == 0
+        assert "regression gate: clean" in capsys.readouterr().out
+
+    def test_gate_fails_on_large_divergent_regression(self, capsys, tmp_path):
+        a = self._save_run(tmp_path, "a", (100.0, 101.0))
+        b = self._save_run(tmp_path, "b", (150.0, 151.0))
+        assert main([
+            "compare-runs", a, b, "--fail-on-regression", "--threshold", "5",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "regression gate" in err
+        assert "makespan" in err
+
+    def test_gate_ignores_improvements(self, capsys, tmp_path):
+        a = self._save_run(tmp_path, "a", (150.0, 151.0))
+        b = self._save_run(tmp_path, "b", (100.0, 101.0))
+        assert main([
+            "compare-runs", a, b, "--fail-on-regression", "--threshold", "5",
+        ]) == 0
+
+    def test_gate_threshold_tolerates_small_shifts(self, capsys, tmp_path):
+        # zero per-run variance so a 3% shift is statistically visible
+        a = self._save_run(tmp_path, "a", (100.0, 100.0))
+        b = self._save_run(tmp_path, "b", (103.0, 103.0))  # 3% worse
+        assert main([
+            "compare-runs", a, b, "--fail-on-regression", "--threshold", "50",
+        ]) == 0
+        assert main([
+            "compare-runs", a, b, "--fail-on-regression", "--threshold", "1",
+        ]) == 1
+
+    def test_gate_zero_baseline_reports_absolute_rise(
+        self, capsys, tmp_path
+    ):
+        # n_fail 0 -> 5 has an undefined percent shift; the gate must
+        # still fail and print the absolute rise, not "+nan%"
+        a = self._save_run(tmp_path, "a", (100.0, 100.0), n_fail=0)
+        b = self._save_run(tmp_path, "b", (100.0, 100.0), n_fail=5)
+        assert main([
+            "compare-runs", a, b, "--fail-on-regression",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "n_fail" in err
+        assert "nan" not in err
+        assert "from zero" in err
+
+    def test_gate_negative_threshold_rejected(self, capsys, tmp_path):
+        a = self._save_run(tmp_path, "a", (100.0,))
+        assert main([
+            "compare-runs", a, a, "--fail-on-regression", "--threshold", "-1",
+        ]) == 2
+        assert "threshold" in capsys.readouterr().err
+
+    def test_plain_compare_still_exits_zero_on_divergence(
+        self, capsys, tmp_path
+    ):
+        # without --fail-on-regression the diff is informational
+        a = self._save_run(tmp_path, "a", (100.0, 101.0))
+        b = self._save_run(tmp_path, "b", (150.0, 151.0))
+        assert main(["compare-runs", a, b]) == 0

@@ -1,0 +1,211 @@
+"""Tests for declarative experiment specs (repro.experiments.spec)."""
+
+import json
+
+import pytest
+
+from repro.core.ga import GAConfig
+from repro.experiments.ablation import stga_ablation_spec
+from repro.experiments.config import PaperDefaults, RunSettings
+from repro.experiments.fig7 import (
+    frisky_makespan_sweep,
+    frisky_sweep_spec,
+    stga_iteration_spec,
+)
+from repro.experiments.fig8 import nas_experiment, nas_spec
+from repro.experiments.fig10 import psa_scaling_spec
+from repro.experiments.runner import PAPER_LINEUP, reports_by_name
+from repro.experiments.spec import (
+    ExperimentSpec,
+    load_spec,
+    run_spec,
+    save_spec,
+)
+from repro.experiments.sweep import ScenarioVariant
+from repro.experiments.table2 import table2_spec
+
+FAST_GA = GAConfig(population_size=16, generations=8)
+FAST = RunSettings(seed=11, ga=FAST_GA)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    kwargs = dict(
+        name="tiny",
+        schedulers=("min-min-risky", "sufferage-f-risky?f=0.4"),
+        variants=(
+            ScenarioVariant(
+                name="PSA N=100",
+                n_jobs=100,
+                n_training_jobs=0,
+                ga_overrides={"generations": 4},
+            ),
+        ),
+        seeds=(11, 12),
+        metrics=("makespan", "n_fail"),
+        scale=0.5,
+        settings=FAST,
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+class TestSpecValidation:
+    def test_rejects_empty_schedulers(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            tiny_spec(schedulers=())
+
+    def test_rejects_empty_variants(self):
+        with pytest.raises(ValueError, match="variant"):
+            tiny_spec(variants=())
+
+    def test_rejects_duplicate_seeds(self):
+        with pytest.raises(ValueError, match="distinct"):
+            tiny_spec(seeds=(1, 1))
+
+    def test_rejects_duplicate_refs(self):
+        with pytest.raises(ValueError, match="distinct"):
+            tiny_spec(schedulers=("stga", "stga"))
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metrics"):
+            tiny_spec(metrics=("makespan", "no_such_metric"))
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            tiny_spec(scale=0.0)
+
+    def test_validate_resolves_refs_lazily(self):
+        # construction succeeds (the ref may come from a plugin not
+        # yet imported); validate() resolves against the registry
+        spec = tiny_spec(schedulers=("no-such-sched?x=1",))
+        with pytest.raises(KeyError, match="available"):
+            spec.validate()
+        tiny_spec().validate()  # built-ins resolve fine
+
+
+class TestSpecRoundTrip:
+    def test_dict_round_trip_is_bit_identical(self):
+        spec = tiny_spec()
+        clone = ExperimentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert clone == spec
+        assert clone.settings == spec.settings
+        assert clone.variants[0].ga_overrides == (("generations", 4),)
+
+    def test_json_round_trip_every_builder(self):
+        for builder in (
+            nas_spec,
+            psa_scaling_spec,
+            frisky_sweep_spec,
+            stga_iteration_spec,
+            table2_spec,
+            stga_ablation_spec,
+        ):
+            spec = builder(scale=0.01, settings=FAST)
+            assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        spec = tiny_spec()
+        path = save_spec(spec, tmp_path / "sub" / "spec.json")
+        assert load_spec(path) == spec
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_spec(tmp_path / "nope.json")
+
+    def test_wrong_schema_version_rejected(self):
+        payload = tiny_spec().to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            ExperimentSpec.from_dict(payload)
+
+
+class TestSpecBuilders:
+    def test_nas_spec_shape(self):
+        spec = nas_spec(scale=0.01, settings=FAST)
+        assert spec.schedulers == PAPER_LINEUP
+        assert spec.seeds == (FAST.seed,)
+        assert spec.variants[0].workload == "nas"
+
+    def test_table2_spec_is_nas_under_its_own_name(self):
+        assert table2_spec(scale=0.01).name == "table2-nas"
+        assert table2_spec(scale=0.01).schedulers == PAPER_LINEUP
+
+    def test_fig7b_spec_maps_generations_to_ga_overrides(self):
+        spec = stga_iteration_spec(generations=(0, 10, 10, 5), scale=0.01)
+        assert [v.name for v in spec.variants] == [
+            "generations=0", "generations=5", "generations=10",
+        ]
+        assert spec.variants[2].ga_overrides == (("generations", 10),)
+        assert spec.schedulers == ("stga",)
+
+    def test_fig7b_spec_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            stga_iteration_spec(generations=(-1, 10))
+
+    def test_fig10_spec_one_variant_per_n(self):
+        spec = psa_scaling_spec(n_values=(100, 200), scale=0.01)
+        assert [v.n_jobs for v in spec.variants] == [100, 200]
+
+    def test_ablation_spec_labels_stay_distinct(self):
+        spec = stga_ablation_spec(scale=0.01)
+        spec.validate()
+        assert len(set(spec.schedulers)) == len(spec.schedulers)
+
+
+def assert_reports_identical(a, b):
+    """Bit-identical on every deterministic field (scheduler_seconds
+    is a wall-clock measurement and legitimately varies)."""
+    from dataclasses import replace
+
+    assert replace(a, scheduler_seconds=0.0) == replace(
+        b, scheduler_seconds=0.0
+    )
+
+
+class TestRunSpecEquivalence:
+    def test_fig8_spec_reproduces_legacy_driver_bit_for_bit(self):
+        """The acceptance criterion: running the fig8 builder's spec
+        yields the exact PerformanceReports of the legacy path."""
+        legacy = nas_experiment(scale=0.002, settings=FAST)
+        spec = nas_spec(scale=0.002, settings=FAST)
+        res = run_spec(spec, max_workers=1)
+
+        variant = spec.variants[0].name
+        by_name = reports_by_name(legacy.reports)
+        assert tuple(res.schedulers()) == tuple(by_name)
+        for sched, legacy_rep in by_name.items():
+            (spec_rep,) = res.cell(variant, sched)
+            assert_reports_identical(spec_rep, legacy_rep)
+
+    def test_fig7a_spec_reproduces_legacy_makespans(self):
+        f_values = (0.0, 0.5, 1.0)
+        legacy = frisky_makespan_sweep(
+            n_jobs=100, scale=0.25, f_values=f_values, settings=FAST
+        )
+        spec = frisky_sweep_spec(
+            n_jobs=100, f_values=f_values, scale=0.25, settings=FAST
+        )
+        res = run_spec(spec, max_workers=1)
+        variant = spec.variants[0].name
+        for i, f in enumerate(f_values):
+            (mm,) = res.cell(variant, f"Min-Min f-Risky(f={f:g})")
+            (sf,) = res.cell(variant, f"Sufferage f-Risky(f={f:g})")
+            assert mm.makespan == legacy.minmin_makespan[i]
+            assert sf.makespan == legacy.sufferage_makespan[i]
+
+
+class TestRunSpec:
+    def test_renders_requested_metrics(self):
+        spec = tiny_spec(scale=0.2, seeds=(11,))
+        res = run_spec(spec, max_workers=1)
+        out = res.render("makespan")
+        assert "PSA N=100" in out
+        assert "Min-Min Risky" in out
+        assert "Sufferage f-Risky(f=0.4)" in out
+
+    def test_unknown_ref_fails_before_any_run(self):
+        spec = tiny_spec(schedulers=("no-such-sched",))
+        with pytest.raises(KeyError, match="available"):
+            run_spec(spec, max_workers=1)
