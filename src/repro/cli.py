@@ -14,6 +14,9 @@ Examples
     repro-grid sweep --out runs/baseline
     repro-grid emit-spec fig8 --scale 0.05 --out fig8.json
     repro-grid run fig8.json --out runs/fig8
+    repro-grid shard fig8.json --shards 4 --out-dir shards/
+    repro-grid run fig8.json --shard-index 1 --num-shards 4 --out runs/p1
+    repro-grid merge runs/p0 runs/p1 --spec fig8.json --out runs/fig8
     repro-grid registry
     repro-grid compare-runs runs/baseline runs/tuned
     repro-grid compare-runs baselines/ci runs/new --fail-on-regression
@@ -23,7 +26,13 @@ the default is a fast scaled-down run with identical distributions.
 ``emit-spec`` writes a figure driver's declarative
 :class:`~repro.experiments.spec.ExperimentSpec` as JSON and ``run``
 executes any spec file — the shippable unit for distributing
-replications across hosts.  ``compare-runs A B`` diffs two stored runs
+replications across hosts.  ``shard`` partitions a spec's
+(variant, seed) grid into sub-spec files, ``run --shard-index I
+--num-shards N`` executes one partition of a spec in place (every host
+derives the same deterministic partition), and ``merge`` recombines
+the partial run records into one record that is bit-identical to a
+single-host run (see :mod:`repro.experiments.dispatch` and
+``docs/CLI.md``).  ``compare-runs A B`` diffs two stored runs
 per (variant, scheduler, metric) cell; with ``--fail-on-regression``
 it exits 1 when run B is statistically worse than baseline A by more
 than ``--threshold`` percent (the CI regression gate).
@@ -49,10 +58,17 @@ from repro.experiments.fig7 import (
 from repro.experiments.fig8 import nas_experiment, nas_spec
 from repro.experiments.fig9 import utilization_panels
 from repro.experiments.fig10 import psa_scaling_experiment, psa_scaling_spec
+from repro.experiments.dispatch import (
+    SHARD_STRATEGIES,
+    merge_runs,
+    shard_file_name,
+    shard_spec,
+)
 from repro.experiments.spec import load_spec, run_spec, save_spec
 from repro.experiments.store import (
     compare_runs,
     find_regressions,
+    load_run,
     save_run,
 )
 from repro.experiments.sweep import (
@@ -189,6 +205,99 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persist the result as a run record at DIR",
+    )
+    run.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help=(
+            "execute only shard I (0-based) of the deterministic "
+            "--num-shards partition of the spec's (variant, seed) grid"
+        ),
+    )
+    run.add_argument(
+        "--num-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total shards in the partition (required with --shard-index)",
+    )
+    run.add_argument(
+        "--shard-strategy",
+        choices=SHARD_STRATEGIES,
+        default=None,
+        help=(
+            "grid axis to split when sharding: seeds, variants, or "
+            "auto (default auto: whichever axis can fill N shards); "
+            "requires --shard-index/--num-shards"
+        ),
+    )
+
+    shard = sub.add_parser(
+        "shard",
+        help="partition an experiment spec into self-contained sub-specs",
+    )
+    shard.add_argument(
+        "spec", metavar="SPEC.json", help="experiment spec file to partition"
+    )
+    shard.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of sub-specs to write (capped at the split axis length)",
+    )
+    shard.add_argument(
+        "--strategy",
+        choices=SHARD_STRATEGIES,
+        default="auto",
+        help="grid axis to split (default auto)",
+    )
+    shard.add_argument(
+        "--out-dir",
+        type=str,
+        required=True,
+        metavar="DIR",
+        help="directory for the shard-<i>-of-<N>.json files",
+    )
+
+    mrg = sub.add_parser(
+        "merge",
+        help="merge partial (sharded) run records into one run record",
+    )
+    mrg.add_argument(
+        "run_dirs",
+        nargs="+",
+        metavar="RUN_DIR",
+        help="partial run records to merge (any order)",
+    )
+    mrg.add_argument(
+        "--out",
+        type=str,
+        required=True,
+        metavar="DIR",
+        help="directory for the merged run record",
+    )
+    mrg.add_argument(
+        "--name",
+        type=str,
+        default=None,
+        help=(
+            "merged record name (default: the spec's name with --spec — "
+            "matching the record a single-host run would save — else "
+            "DIR's base name)"
+        ),
+    )
+    mrg.add_argument(
+        "--spec",
+        type=str,
+        default=None,
+        metavar="SPEC.json",
+        help=(
+            "original unsharded spec; pins the merged seed/variant order "
+            "to the spec's layout for bit-identical reassembly"
+        ),
     )
 
     emit = sub.add_parser(
@@ -364,12 +473,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if (args.shard_index is None) != (args.num_shards is None):
+        print(
+            "--shard-index and --num-shards must be given together",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shard_strategy is not None and args.shard_index is None:
+        print(
+            "--shard-strategy is only meaningful together with "
+            "--shard-index/--num-shards (it would otherwise be "
+            "silently ignored)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         spec = load_spec(args.spec)
         spec.validate()
     except (OSError, ValueError, KeyError) as exc:
         print(f"bad experiment spec {args.spec}: {exc}", file=sys.stderr)
         return 2
+    if args.shard_index is not None:
+        if args.num_shards < 1:
+            print(
+                f"--num-shards must be >= 1, got {args.num_shards}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            shards = shard_spec(
+                spec,
+                args.num_shards,
+                strategy=args.shard_strategy or "auto",
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if not (0 <= args.shard_index < len(shards)):
+            print(
+                f"--shard-index {args.shard_index} out of range: spec "
+                f"{spec.name!r} partitions into {len(shards)} shard(s) "
+                f"(indices 0..{len(shards) - 1})",
+                file=sys.stderr,
+            )
+            return 2
+        spec = shards[args.shard_index]
     print(
         f"spec {spec.name!r}: {len(spec.schedulers)} scheduler(s) x "
         f"{len(spec.variants)} variant(s) x {len(spec.seeds)} seed(s) "
@@ -388,6 +536,71 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         run_dir = save_run(res, args.out, name=spec.name, overwrite=True)
         print(f"saved run record to {run_dir}")
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    try:
+        spec = load_spec(args.spec)
+        shards = shard_spec(spec, args.shards, strategy=args.strategy)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bad experiment spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    if len(shards) < args.shards:
+        print(
+            f"note: {spec.name!r} only partitions into {len(shards)} "
+            f"shard(s) along the split axis"
+        )
+    for i, shard in enumerate(shards):
+        path = save_spec(
+            shard, f"{args.out_dir}/{shard_file_name(i, len(shards))}"
+        )
+        grid = len(shard.variants) * len(shard.seeds)
+        print(
+            f"wrote {path} ({len(shard.variants)} variant(s) x "
+            f"{len(shard.seeds)} seed(s) = {grid} grid cell(s))"
+        )
+    print(
+        f"\nrun each shard anywhere with: repro-grid run <shard.json> "
+        f"--out <dir>, then recombine with: repro-grid merge <dir>... "
+        f"--spec {args.spec} --out <merged-dir>"
+    )
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    spec = None
+    if args.spec:
+        try:
+            spec = load_spec(args.spec)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"bad experiment spec {args.spec}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        runs = [load_run(d) for d in args.run_dirs]
+        merged = merge_runs(runs, spec=spec)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"malformed run record: missing {exc}", file=sys.stderr)
+        return 2
+    run_dir = save_run(
+        merged,
+        args.out,
+        name=args.name if args.name else (spec.name if spec else None),
+        overwrite=True,
+        merged_from=[str(r.path) for r in runs],
+    )
+    print(
+        f"merged {len(runs)} partial record(s): "
+        f"{len(merged.variants)} variant(s) x {len(merged.seeds)} seed(s) "
+        f"x {len(merged.schedulers())} scheduler(s)"
+    )
+    print(f"saved merged run record to {run_dir}")
     return 0
 
 
@@ -508,6 +721,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.experiment == "run":
         return _cmd_run(args)
+    if args.experiment == "shard":
+        return _cmd_shard(args)
+    if args.experiment == "merge":
+        return _cmd_merge(args)
     if args.experiment == "emit-spec":
         return _cmd_emit_spec(args)
     if args.experiment == "registry":

@@ -1,0 +1,232 @@
+"""Sharded spec execution: partition a spec, run the pieces anywhere,
+merge the partial run records back into one.
+
+The replication grid of an :class:`~repro.experiments.spec.ExperimentSpec`
+— (variant, seed) cells, each an independent
+:func:`~repro.experiments.runner.run_lineup` call — is embarrassingly
+parallel, so a spec need not execute on a single host.  This module
+closes the ROADMAP's "distribute replications across hosts" loop:
+
+1. :func:`shard_spec` deterministically partitions a spec's
+   (variant, seed) grid along one axis into self-contained sub-specs.
+   Every shard is itself a plain :class:`ExperimentSpec` that JSON
+   round-trips bit-identically, so the existing transport
+   (``repro-grid run SPEC.json --out DIR``) ships it to any host
+   unchanged.
+2. Each shard executes wherever — the local process pool of
+   :func:`run_sharded`, a ``repro-grid run`` on another machine, a CI
+   matrix job — and persists an ordinary run record via
+   :mod:`repro.experiments.store`.
+3. :func:`merge_runs` (a thin coercing wrapper around
+   :meth:`~repro.experiments.sweep.SweepResult.merge`) takes the union
+   of the partial records and recomputes every
+   :class:`~repro.experiments.sweep.MetricSummary` from the pooled
+   per-seed raw values.
+
+The key invariant (enforced by ``tests/test_experiments_dispatch.py``
+and the CI shard/merge smoke job): shard → run → merge is
+*bit-identical* to a single-host :func:`~repro.experiments.spec.run_spec`
+at the same seeds — same per-cell reports, same ``run.json`` /
+``grid.csv`` payloads modulo provenance fields (record name,
+timestamps, git SHA, ``elapsed_seconds``, ``merged_from``, and the
+wall-clock ``scheduler_seconds`` report field).
+
+CLI
+---
+::
+
+    repro-grid shard fig8.json --shards 4 --out-dir shards/
+    # on each host i (or: repro-grid run shards/shard-<i>-of-4.json):
+    repro-grid run fig8.json --shard-index i --num-shards 4 --out runs/part-i
+    # back on one host:
+    repro-grid merge runs/part-* --spec fig8.json --out runs/fig8
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+from repro.experiments.config import PaperDefaults
+from repro.experiments.spec import ExperimentSpec, run_spec
+from repro.experiments.store import as_result
+from repro.experiments.sweep import SweepResult, parallel_map
+
+__all__ = [
+    "SHARD_STRATEGIES",
+    "shard_spec",
+    "shard_file_name",
+    "run_sharded",
+    "merge_runs",
+]
+
+#: shard_spec partition strategies: which grid axis is split.
+SHARD_STRATEGIES = ("auto", "seeds", "variants")
+
+
+def _chunks(items: tuple, n: int) -> list[tuple]:
+    """Balanced contiguous chunks, sizes differing by at most one.
+
+    Order-preserving and deterministic: the first ``len(items) % n``
+    chunks carry the extra element, so concatenating the chunks in
+    shard order reproduces ``items`` exactly.
+    """
+    n = min(n, len(items))
+    base, extra = divmod(len(items), n)
+    out, start = [], 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        out.append(items[start:start + size])
+        start += size
+    return out
+
+
+def _pick_axis(spec: ExperimentSpec, n_shards: int) -> str:
+    """The ``"auto"`` strategy: prefer the axis that can fill
+    ``n_shards``; otherwise the longer one (ties go to seeds)."""
+    n_seeds, n_variants = len(spec.seeds), len(spec.variants)
+    if n_seeds >= n_shards:
+        return "seeds"
+    if n_variants >= n_shards:
+        return "variants"
+    return "seeds" if n_seeds >= n_variants else "variants"
+
+
+def shard_spec(
+    spec: ExperimentSpec,
+    n_shards: int,
+    *,
+    strategy: str = "auto",
+) -> tuple[ExperimentSpec, ...]:
+    """Partition a spec's (variant, seed) grid into sub-specs.
+
+    Each shard is a self-contained :class:`ExperimentSpec` — same
+    schedulers, metrics, scale and settings, a contiguous slice of one
+    grid axis — whose name records its position
+    (``"<name>#shard-<i>-of-<k>"``).  The union of the shards is
+    exactly the original grid with no cell duplicated, and the
+    partition is a pure function of ``(spec, n_shards, strategy)``, so
+    independent hosts agree on it without coordination (that is what
+    makes ``repro-grid run --shard-index i --num-shards N`` safe).
+
+    ``strategy`` picks the split axis: ``"seeds"`` gives every shard
+    all variants and a seed subset, ``"variants"`` the reverse,
+    ``"auto"`` (default) prefers whichever axis has at least
+    ``n_shards`` elements (seeds first).  Because a shard is a full
+    cross-product spec, arbitrary cell-level partitions are not
+    expressible — one axis is always kept whole.
+
+    Asking for more shards than the split axis has elements returns
+    one shard per element (never an empty shard — a spec cannot have
+    zero seeds or variants); callers should use ``len()`` of the
+    result, not ``n_shards``.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if strategy not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"unknown shard strategy {strategy!r}; "
+            f"choose from {SHARD_STRATEGIES}"
+        )
+    axis = _pick_axis(spec, n_shards) if strategy == "auto" else strategy
+    if axis == "seeds":
+        parts = _chunks(spec.seeds, n_shards)
+        shards = [replace(spec, seeds=part) for part in parts]
+    else:
+        parts = _chunks(spec.variants, n_shards)
+        shards = [replace(spec, variants=part) for part in parts]
+    k = len(shards)
+    return tuple(
+        replace(shard, name=f"{spec.name}#shard-{i}-of-{k}")
+        for i, shard in enumerate(shards)
+    )
+
+
+def shard_file_name(index: int, n_shards: int) -> str:
+    """Canonical shard spec file name, zero-padded so a lexical sort
+    lists shards in index order (``shard-03-of-12.json``)."""
+    width = len(str(n_shards - 1)) if n_shards > 1 else 1
+    return f"shard-{index:0{width}d}-of-{n_shards}.json"
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Picklable unit of work: one shard, run sequentially in-process
+    (the outer pool supplies the parallelism)."""
+
+    shard: ExperimentSpec
+    defaults: PaperDefaults
+
+
+def _run_shard(task: _ShardTask) -> SweepResult:
+    """Worker entry point (module-level for ProcessPoolExecutor)."""
+    return run_spec(task.shard, defaults=task.defaults, max_workers=1)
+
+
+def run_sharded(
+    spec: ExperimentSpec,
+    n_shards: int,
+    *,
+    strategy: str = "auto",
+    defaults: PaperDefaults = PaperDefaults(),
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Shard → run → merge on one machine: the local dispatcher.
+
+    Partitions ``spec`` with :func:`shard_spec`, runs one shard per
+    pool process (each shard executes its own grid sequentially
+    in-process, so parallelism is one level deep), and merges the
+    partial results in the spec's own seed/variant order.  The result
+    equals ``run_spec(spec)`` on every deterministic field — this is
+    the in-process rehearsal of the multi-host shard/merge protocol,
+    and the CI smoke job's subject.
+
+    ``max_workers=1`` runs the shards sequentially (the tier-1 test
+    path — no fork); ``None`` sizes the pool to
+    ``min(n_shards, cpu_count)``.
+    """
+    spec.validate()
+    shards = shard_spec(spec, n_shards, strategy=strategy)
+    partials = parallel_map(
+        _run_shard,
+        [_ShardTask(shard=s, defaults=defaults) for s in shards],
+        max_workers=max_workers,
+    )
+    return SweepResult.merge(
+        partials,
+        seeds_order=spec.seeds,
+        variants_order=[v.name for v in spec.variants],
+    )
+
+
+def merge_runs(
+    runs: Sequence,
+    *,
+    spec: ExperimentSpec | None = None,
+    seeds_order: Sequence[int] | None = None,
+    variants_order: Sequence[str] | None = None,
+) -> SweepResult:
+    """Merge partial run records into one complete :class:`SweepResult`.
+
+    ``runs`` may mix run-record paths,
+    :class:`~repro.experiments.store.StoredRun` and in-memory
+    :class:`SweepResult` objects (the same coercion
+    ``compare_runs`` applies).  Passing the original unsharded
+    ``spec`` pins the merged seed/variant order to the spec's layout —
+    the bit-identical reassembly path used by ``repro-grid merge
+    --spec``; explicit ``seeds_order`` / ``variants_order`` take
+    precedence over the spec's.  See
+    :meth:`~repro.experiments.sweep.SweepResult.merge` for the union
+    semantics (disjoint sets combine, overlapping cells must agree,
+    the merged grid must be complete).
+    """
+    if spec is not None:
+        if seeds_order is None:
+            seeds_order = spec.seeds
+        if variants_order is None:
+            variants_order = [v.name for v in spec.variants]
+    return SweepResult.merge(
+        [as_result(run) for run in runs],
+        seeds_order=seeds_order,
+        variants_order=variants_order,
+    )

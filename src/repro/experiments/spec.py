@@ -7,7 +7,10 @@ Here a spec names scheduler-registry refs x scenario variants x
 replication seeds (plus the metrics to report and the shared engine
 settings), JSON round-trips bit-identically, and runs anywhere via
 :func:`run_spec` or ``repro-grid run SPEC.json`` — the shippable unit
-for distributing replications across hosts.
+for distributing replications across hosts.  Distribution itself is
+:mod:`repro.experiments.dispatch`: ``shard_spec`` partitions a spec's
+(variant, seed) grid into sub-specs (each again a plain spec file),
+and ``merge_runs`` recombines the partial run records bit-identically.
 
 The paper-figure drivers emit specs instead of hard-coding their
 lineups: :func:`repro.experiments.fig8.nas_spec`,
@@ -68,7 +71,14 @@ class ExperimentSpec:
     distinct names/seeds, known metrics, scale in (0, 1]); scheduler
     refs resolve against the registry at :meth:`validate` / run time,
     so a spec can be authored and shipped without the plugin modules
-    that define its entries.
+    that define its entries.  Scheduler refs follow the
+    ``"name?key=value"`` grammar documented in :mod:`repro.registry`
+    (JSON-scalar parameter values, reserved ``label`` key); refs are
+    compared as strings, so ``schedulers`` must be distinct as written.
+
+    The (variant, seed) grid a spec describes is embarrassingly
+    parallel — :func:`repro.experiments.dispatch.shard_spec` partitions
+    it into self-contained sub-specs for multi-host execution.
     """
 
     name: str

@@ -22,7 +22,11 @@ sorts chronologically::
         ...
 
 ``repro-grid sweep --out DIR`` writes a record at exactly ``DIR``;
-``repro-grid compare-runs A B`` diffs two records.
+``repro-grid compare-runs A B`` diffs two records.  Run records are
+also the transport of the shard/merge protocol
+(:mod:`repro.experiments.dispatch`): each shard of a spec persists an
+ordinary record on its host, and ``repro-grid merge`` unions them into
+one record whose ``merged_from`` key names the parts.
 
 run.json schema (``schema_version`` 1)
 --------------------------------------
@@ -53,7 +57,11 @@ run.json schema (``schema_version`` 1)
           <scheduler name>: [<PerformanceReport.to_dict()>, ...]
           #                  one entry per seed, in ``seeds`` order
         }, ...
-      }
+      },
+      "merged_from": [str, ...]        # OPTIONAL: the partial records
+      #  a merged run was assembled from (repro-grid merge); absent —
+      #  not null — on directly-saved runs, so their payloads are
+      #  unchanged.  Readers treat a missing key as "not a merge".
     }
 
 Floats are serialized with ``repr`` round-tripping (the ``json``
@@ -69,6 +77,7 @@ from __future__ import annotations
 import csv
 import json
 import subprocess
+from collections.abc import Sequence
 from dataclasses import asdict, dataclass, fields
 from datetime import datetime, timezone
 from pathlib import Path
@@ -91,6 +100,7 @@ __all__ = [
     "save_run_to_registry",
     "load_run",
     "list_runs",
+    "as_result",
     "compare_runs",
     "find_regressions",
 ]
@@ -121,6 +131,9 @@ class StoredRun:
     git_sha: str | None
     schema_version: int
     result: SweepResult
+    #: source records of a ``repro-grid merge`` product; None when the
+    #: run was saved directly from a sweep
+    merged_from: tuple[str, ...] | None = None
 
     def __str__(self) -> str:
         return (
@@ -164,12 +177,16 @@ def save_run(
     *,
     name: str | None = None,
     overwrite: bool = False,
+    merged_from: Sequence[str] | None = None,
 ) -> Path:
     """Write one run record (``run.json`` + ``grid.csv``) at ``run_dir``.
 
     The directory is created (parents included).  An existing record
     is only replaced with ``overwrite=True``; ``name`` defaults to the
-    directory's base name.  Returns the record path.
+    directory's base name.  ``merged_from`` records the partial-run
+    paths a :func:`repro.experiments.dispatch.merge_runs` product was
+    assembled from (provenance only; omitted from the payload when
+    ``None``).  Returns the record path.
     """
     run_dir = Path(run_dir)
     record = run_dir / RUN_JSON
@@ -197,6 +214,8 @@ def save_run(
             for vname, per_sched in result.reports.items()
         },
     }
+    if merged_from is not None:
+        payload["merged_from"] = [str(p) for p in merged_from]
     with record.open("w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1)
         fh.write("\n")
@@ -244,7 +263,14 @@ def save_run_to_registry(
 
 
 def load_run(run_dir: str | Path) -> StoredRun:
-    """Reload a run record; the sweep round-trips bit-identically."""
+    """Reload a run record; the sweep round-trips bit-identically.
+
+    Only ``run.json`` is read (``grid.csv`` is a convenience export,
+    never parsed back).  Unsupported ``schema_version`` values raise
+    ``ValueError``; a missing record raises ``FileNotFoundError``.
+    Merge provenance (the optional ``merged_from`` key) surfaces as
+    :attr:`StoredRun.merged_from`, ``None`` for directly-saved runs.
+    """
     run_dir = Path(run_dir)
     record = run_dir / RUN_JSON
     if not record.is_file():
@@ -275,6 +301,7 @@ def load_run(run_dir: str | Path) -> StoredRun:
         scale=payload.get("scale", 1.0),
         elapsed_seconds=payload.get("elapsed_seconds"),
     )
+    merged_from = payload.get("merged_from")
     return StoredRun(
         path=run_dir,
         name=payload["name"],
@@ -282,6 +309,7 @@ def load_run(run_dir: str | Path) -> StoredRun:
         git_sha=payload.get("git_sha"),
         schema_version=version,
         result=result,
+        merged_from=tuple(merged_from) if merged_from is not None else None,
     )
 
 
@@ -303,7 +331,15 @@ def list_runs(root: str | Path = "runs") -> list[StoredRun]:
     return sorted(runs, key=lambda run: run.created_at)
 
 
-def _as_result(run) -> SweepResult:
+def as_result(run) -> SweepResult:
+    """Coerce a run argument to its :class:`SweepResult`.
+
+    Accepts an in-memory :class:`SweepResult` (returned as-is), a
+    :class:`StoredRun`, or a run-record path (loaded via
+    :func:`load_run`) — the argument contract shared by
+    :func:`compare_runs` and
+    :func:`repro.experiments.dispatch.merge_runs`.
+    """
     if isinstance(run, SweepResult):
         return run
     if isinstance(run, StoredRun):
@@ -330,8 +366,8 @@ def compare_runs(
 
     Raises if the runs share no (variant, scheduler) cell at all.
     """
-    a = _as_result(run_a)
-    b = _as_result(run_b)
+    a = as_result(run_a)
+    b = as_result(run_b)
     rows: list[RunDiffRow] = []
     for variant in a.variants:
         if variant.name not in b.reports:

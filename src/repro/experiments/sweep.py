@@ -40,7 +40,7 @@ import os
 import time
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
@@ -259,6 +259,28 @@ class MetricSummary:
         return f"{self.mean:.6g} ± {self.std:.3g}"
 
 
+def _merged_order(kind: str, noun: str, ordered: tuple, have: set) -> tuple:
+    """Validate an explicit :meth:`SweepResult.merge` ordering.
+
+    ``ordered`` must be a permutation of the merged element set
+    ``have``.  Elements the order requires but no part supplied get
+    the multi-host diagnostic (a shard's record never arrived) rather
+    than a blame-the-argument permutation error.
+    """
+    absent = set(ordered) - have
+    if absent and have <= set(ordered) and len(set(ordered)) == len(ordered):
+        raise ValueError(
+            f"merged runs are missing {noun}(s) {sorted(absent)} "
+            f"required by {kind} — is a shard's run record absent?"
+        )
+    if set(ordered) != have or len(ordered) != len(have):
+        raise ValueError(
+            f"{kind} {ordered} is not a permutation of the merged "
+            f"{noun} set {tuple(sorted(have))}"
+        )
+    return ordered
+
+
 @dataclass(frozen=True)
 class SweepResult:
     """All replications of one sweep, plus their aggregation.
@@ -317,6 +339,161 @@ class SweepResult:
             }
             for v in self.variants
         }
+
+    @classmethod
+    def merge(
+        cls,
+        results: Sequence["SweepResult"],
+        *,
+        seeds_order: Sequence[int] | None = None,
+        variants_order: Sequence[str] | None = None,
+    ) -> "SweepResult":
+        """Union of partial sweep results into one complete grid.
+
+        The inverse of sharding
+        (:func:`repro.experiments.dispatch.shard_spec`): partial
+        results over disjoint seed or variant subsets combine into one
+        :class:`SweepResult` whose summaries are recomputed from the
+        *pooled* per-seed raw values — ``merged.summary(...)`` is
+        exactly ``MetricSummary`` over the concatenated replications,
+        so mean/std/Student-t CIs tighten as shards pool.
+
+        Rules
+        -----
+        * All parts must share ``scale``, base ``settings`` (``None``
+          acts as a wildcard) and the same scheduler tuple.
+        * A variant name appearing in several parts must denote the
+          same :class:`ScenarioVariant`.
+        * Overlapping (variant, seed) cells must be identical on every
+          deterministic :class:`PerformanceReport` field
+          (``scheduler_seconds`` is wall-clock and ignored); a
+          conflict raises ``ValueError`` — two shards disagreeing on
+          one replication means they did not run the same code or
+          spec, and averaging the disagreement away would hide that.
+        * The merged (variant, seed) grid must be complete: every
+          variant needs a report at every merged seed, or the parts
+          "do not tile" and merging raises.
+
+        ``seeds_order`` / ``variants_order`` pin the output ordering
+        (they must be permutations of the merged sets) so a merge can
+        reproduce the original spec's layout bit for bit; by default
+        seeds sort ascending and variants keep first-appearance order.
+        ``elapsed_seconds`` sums the parts' recorded times (the total
+        compute spent, not the dispatch wall-clock).
+        """
+        results = list(results)
+        if not results:
+            raise ValueError("need at least one sweep result to merge")
+        scales = {r.scale for r in results}
+        if len(scales) > 1:
+            raise ValueError(
+                f"cannot merge runs with different scales: {sorted(scales)}"
+            )
+        known_settings = [r.settings for r in results if r.settings is not None]
+        for s in known_settings[1:]:
+            if s != known_settings[0]:
+                raise ValueError(
+                    "cannot merge runs with different base settings"
+                )
+        scheds = results[0].schedulers()
+        for r in results[1:]:
+            if r.schedulers() != scheds:
+                raise ValueError(
+                    f"cannot merge runs with different scheduler lineups: "
+                    f"{scheds} vs {r.schedulers()}"
+                )
+
+        variants_by_name: dict[str, ScenarioVariant] = {}
+        variant_names: list[str] = []
+        # cells[(variant, scheduler, seed)] -> PerformanceReport
+        cells: dict[tuple[str, str, int], PerformanceReport] = {}
+        seed_set: set[int] = set()
+        for r in results:
+            for v in r.variants:
+                seen = variants_by_name.get(v.name)
+                if seen is None:
+                    variants_by_name[v.name] = v
+                    variant_names.append(v.name)
+                elif seen != v:
+                    raise ValueError(
+                        f"variant {v.name!r} has conflicting definitions "
+                        "across the merged runs"
+                    )
+            seed_set.update(r.seeds)
+            for vname, per_sched in r.reports.items():
+                for sched, reps in per_sched.items():
+                    if len(reps) != len(r.seeds):
+                        raise ValueError(
+                            f"malformed partial run: cell ({vname!r}, "
+                            f"{sched!r}) has {len(reps)} report(s) for "
+                            f"{len(r.seeds)} seed(s)"
+                        )
+                    for seed, rep in zip(r.seeds, reps):
+                        key = (vname, sched, seed)
+                        prior = cells.get(key)
+                        if prior is None:
+                            cells[key] = rep
+                        elif replace(prior, scheduler_seconds=0.0) != replace(
+                            rep, scheduler_seconds=0.0
+                        ):
+                            raise ValueError(
+                                f"cell ({vname!r}, {sched!r}, seed {seed}) "
+                                "appears in several runs with conflicting "
+                                "reports; overlapping cells must be "
+                                "bit-identical"
+                            )
+
+        if seeds_order is not None:
+            seeds = _merged_order(
+                "seeds_order",
+                "seed",
+                tuple(int(s) for s in seeds_order),
+                seed_set,
+            )
+        else:
+            seeds = tuple(sorted(seed_set))
+        if variants_order is not None:
+            vnames = _merged_order(
+                "variants_order",
+                "variant",
+                tuple(variants_order),
+                set(variant_names),
+            )
+        else:
+            vnames = tuple(variant_names)
+
+        missing = [
+            (vname, sched, seed)
+            for vname in vnames
+            for sched in scheds
+            for seed in seeds
+            if (vname, sched, seed) not in cells
+        ]
+        if missing:
+            raise ValueError(
+                f"merged runs do not tile the (variant, seed) grid; "
+                f"{len(missing)} missing cell(s), first: {missing[0]}"
+            )
+        reports = {
+            vname: {
+                sched: tuple(cells[vname, sched, seed] for seed in seeds)
+                for sched in scheds
+            }
+            for vname in vnames
+        }
+        elapsed = [
+            r.elapsed_seconds
+            for r in results
+            if r.elapsed_seconds is not None
+        ]
+        return cls(
+            variants=tuple(variants_by_name[n] for n in vnames),
+            seeds=seeds,
+            reports=reports,
+            settings=known_settings[0] if known_settings else None,
+            scale=results[0].scale,
+            elapsed_seconds=sum(elapsed) if elapsed else None,
+        )
 
     def render(self, metric: str = "makespan") -> str:
         """Mean ± std table: rows = variants, columns = schedulers."""

@@ -33,12 +33,42 @@ Registering a scheduler::
     def _build(settings, rng, **_):
         return MySched(lam=settings.lam)
 
-Scheduler *refs* (the strings an experiment spec carries) may append
-``?key=value&key=value`` parameters that are forwarded to the factory
-as keyword arguments, e.g. ``"min-min-f-risky?f=0.3"`` or
-``"stga?eviction=fifo&label=STGA-FIFO"``.  Values parse as JSON
-scalars when possible (ints, floats, booleans, null) and fall back to
-plain strings.
+Ref grammar
+-----------
+Scheduler *refs* — the strings an experiment spec, lineup, or CLI
+carries — address a registry entry plus optional factory parameters::
+
+    ref    := name [ "?" param ( "&" param )* ]
+    param  := key "=" value
+
+with these rules (see :func:`parse_scheduler_ref`):
+
+* ``name`` is a canonical entry name or one of its aliases; unknown
+  names raise ``KeyError`` listing every available entry, at
+  :meth:`ExperimentSpec.validate`/build time rather than construction
+  time (so specs can be authored without the plugin that defines
+  them).
+* Each ``key=value`` is forwarded to the factory as a keyword
+  argument, e.g. ``"min-min-f-risky?f=0.3"`` calls the ``min-min-f-
+  risky`` factory with ``f=0.3``.  A parameter whose key collides
+  with an argument the factory fixes itself (e.g. ``lam``, which
+  comes from the settings) raises ``TypeError`` at build time.
+* ``value`` parses as a JSON scalar when possible — ``f=0.3`` is the
+  float 0.3, ``strict=true`` the boolean True, ``cap=50`` an int,
+  ``mode=null`` None — and falls back to the raw string otherwise
+  (``eviction=fifo`` is the string ``"fifo"``).  There is no quoting
+  mechanism: a string value cannot contain ``&`` or ``=``.
+* The key ``label`` is *reserved*: it never reaches the factory and
+  instead overrides the scheduler's report name, so two
+  parameterizations of one algorithm can share a lineup
+  (``"stga?eviction=fifo&label=STGA-FIFO"``).  Works for any
+  ``BatchScheduler`` — schedulers that ignore a ``label`` attribute
+  are wrapped in a rename proxy.
+* A malformed parameter segment (missing ``=``, empty key) and an
+  empty name raise ``ValueError``.
+* Refs are compared as plain strings (a spec's ``schedulers`` must be
+  distinct *as refs*), so ``"stga?a=1&b=2"`` and ``"stga?b=2&a=1"``
+  are different refs that build identical schedulers.
 
 Workloads
 ---------
@@ -261,8 +291,15 @@ def _parse_scalar(raw: str):
 def parse_scheduler_ref(ref: str) -> tuple[str, dict]:
     """Split ``"name?key=value&..."`` into (name, params).
 
-    The bare name passes through with empty params.  Malformed
-    parameter segments (missing ``=``, empty keys) raise ValueError.
+    The full grammar lives in the module docstring ("Ref grammar");
+    operationally: the bare name passes through with empty params;
+    values are JSON-scalar parsed with a plain-string fallback
+    (``f=0.3`` → ``0.3``, ``eviction=fifo`` → ``"fifo"``); the
+    reserved ``label`` key is returned like any other and stripped by
+    :func:`build_scheduler`.  Malformed parameter segments (missing
+    ``=``, empty keys) and an empty name raise ``ValueError``.  The
+    name is *not* resolved here — pass it to :func:`scheduler_spec`
+    for that.
     """
     name, sep, query = ref.partition("?")
     if not name:

@@ -225,6 +225,165 @@ class TestSpecCommands:
         assert "available" in err
 
 
+class TestShardMergeCommands:
+    def _emit_spec(self, tmp_path) -> str:
+        spec_file = str(tmp_path / "spec.json")
+        assert main([
+            "emit-spec", "fig7a", "--scale", "0.002",
+            "--spec-seeds", "2", "--out", spec_file,
+        ]) == 0
+        return spec_file
+
+    def test_shard_run_merge_round_trip(self, capsys, tmp_path):
+        """The CI smoke job's shape: shard, run each part (one via a
+        shard file, one via --shard-index), merge, self-compare."""
+        spec_file = self._emit_spec(tmp_path)
+        assert main([
+            "shard", spec_file, "--shards", "2",
+            "--out-dir", str(tmp_path / "shards"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shard-0-of-2.json" in out
+        assert "shard-1-of-2.json" in out
+
+        assert main([
+            "run", str(tmp_path / "shards" / "shard-0-of-2.json"),
+            "--max-workers", "1", "--out", str(tmp_path / "p0"),
+        ]) == 0
+        assert main([
+            "run", spec_file, "--shard-index", "1", "--num-shards", "2",
+            "--max-workers", "1", "--out", str(tmp_path / "p1"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "merge", str(tmp_path / "p0"), str(tmp_path / "p1"),
+            "--spec", spec_file, "--out", str(tmp_path / "merged"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 partial record(s)" in out
+        assert "saved merged run record" in out
+
+        # the merged record equals a sequential run of the full spec
+        assert main([
+            "run", spec_file, "--max-workers", "1",
+            "--out", str(tmp_path / "seq"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compare-runs", str(tmp_path / "seq"), str(tmp_path / "merged"),
+            "--fail-on-regression", "--threshold", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 diverged" in out
+        assert "regression gate: clean" in out
+
+    def test_shard_caps_at_axis_length(self, capsys, tmp_path):
+        spec_file = self._emit_spec(tmp_path)  # 2 seeds, 1 variant
+        assert main([
+            "shard", spec_file, "--shards", "5",
+            "--out-dir", str(tmp_path / "shards"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "only partitions into 2 shard(s)" in out
+
+    def test_shard_missing_spec(self, capsys, tmp_path):
+        assert main([
+            "shard", str(tmp_path / "nope.json"),
+            "--shards", "2", "--out-dir", str(tmp_path / "s"),
+        ]) == 2
+        assert "bad experiment spec" in capsys.readouterr().err
+
+    def test_shard_bad_count(self, capsys, tmp_path):
+        spec_file = self._emit_spec(tmp_path)
+        assert main([
+            "shard", spec_file, "--shards", "0",
+            "--out-dir", str(tmp_path / "s"),
+        ]) == 2
+        assert "shards" in capsys.readouterr().err
+
+    def test_run_shard_flags_must_pair(self, capsys, tmp_path):
+        spec_file = self._emit_spec(tmp_path)
+        assert main(["run", spec_file, "--shard-index", "0"]) == 2
+        assert "together" in capsys.readouterr().err
+        assert main(["run", spec_file, "--num-shards", "2"]) == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_run_unpaired_shard_strategy_rejected(self, capsys, tmp_path):
+        spec_file = self._emit_spec(tmp_path)
+        assert main([
+            "run", spec_file, "--shard-strategy", "variants",
+        ]) == 2
+        assert "shard-strategy" in capsys.readouterr().err
+
+    def test_run_shard_index_out_of_range(self, capsys, tmp_path):
+        spec_file = self._emit_spec(tmp_path)
+        assert main([
+            "run", spec_file, "--shard-index", "7", "--num-shards", "2",
+            "--max-workers", "1",
+        ]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_merge_conflicting_records_exit_2(self, capsys, tmp_path):
+        # the same (variant, seed) cells with different numbers: the
+        # overlap is not bit-identical, so the merge must refuse
+        spec_file = self._emit_spec(tmp_path)
+        assert main([
+            "run", spec_file, "--max-workers", "1",
+            "--out", str(tmp_path / "a"),
+        ]) == 0
+        payload = json.loads(
+            (tmp_path / "a" / "run.json").read_text(encoding="utf-8")
+        )
+        for per_sched in payload["reports"].values():
+            for reps in per_sched.values():
+                for rep in reps:
+                    rep["makespan"] += 1.0
+        (tmp_path / "b").mkdir()
+        (tmp_path / "b" / "run.json").write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        capsys.readouterr()
+        assert main([
+            "merge", str(tmp_path / "a"), str(tmp_path / "b"),
+            "--out", str(tmp_path / "m"),
+        ]) == 2
+        assert "conflicting reports" in capsys.readouterr().err
+
+    def test_merge_with_absent_shard_exit_2(self, capsys, tmp_path):
+        # merging only part of the partition with --spec must point at
+        # the absent shard, not succeed with a hole
+        spec_file = self._emit_spec(tmp_path)  # 2 seeds
+        assert main([
+            "run", spec_file, "--shard-index", "0", "--num-shards", "2",
+            "--max-workers", "1", "--out", str(tmp_path / "p0"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "merge", str(tmp_path / "p0"),
+            "--spec", spec_file, "--out", str(tmp_path / "m"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "missing seed" in err
+        assert "absent" in err
+
+    def test_merge_missing_record_exit_2(self, capsys, tmp_path):
+        assert main([
+            "merge", str(tmp_path / "nope"), "--out", str(tmp_path / "m"),
+        ]) == 2
+        assert "no run record" in capsys.readouterr().err
+
+    def test_merge_bad_spec_blames_the_spec(self, capsys, tmp_path):
+        # a broken --spec file must not be misreported as a malformed
+        # run record
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema_version": 1, "kind": "experiment-spec"}')
+        assert main([
+            "merge", str(tmp_path / "r"),
+            "--spec", str(bad), "--out", str(tmp_path / "m"),
+        ]) == 2
+        assert "bad experiment spec" in capsys.readouterr().err
+
+
 class TestRegressionGate:
     def _save_run(self, tmp_path, name, makespans, n_fail=0):
         """A minimal 1-variant, 1-scheduler stored run with the given

@@ -1,0 +1,92 @@
+"""Docs anti-rot checks: cross-references in README/docs must resolve.
+
+Two guarantees:
+
+1. every relative markdown link in ``README.md`` and ``docs/*.md``
+   points at a file that exists (external http(s) links are not
+   fetched — only repo-local references are checked);
+2. ``docs/CLI.md`` documents every ``repro-grid`` subcommand the
+   parser actually exposes, so adding a subcommand without documenting
+   it fails CI.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown inline links: [text](target)
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: schemes that name external resources we do not check
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _markdown_files():
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return files
+
+
+def _relative_links(path: Path):
+    for target in _LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        yield target.split("#", 1)[0]  # drop any anchor suffix
+
+
+@pytest.mark.parametrize(
+    "md_file", _markdown_files(), ids=lambda p: p.name
+)
+def test_relative_links_resolve(md_file):
+    assert md_file.is_file(), f"expected docs file {md_file} to exist"
+    broken = [
+        target
+        for target in _relative_links(md_file)
+        if not (md_file.parent / target).exists()
+    ]
+    assert not broken, (
+        f"{md_file.relative_to(REPO_ROOT)} has broken relative links: "
+        f"{broken}"
+    )
+
+
+def test_readme_links_to_docs_tree():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/ARCHITECTURE.md" in text
+    assert "docs/CLI.md" in text
+
+
+def _subcommand_names():
+    parser = build_parser()
+    for action in parser._actions:  # argparse keeps subparsers here
+        if hasattr(action, "choices") and action.choices:
+            return sorted(action.choices)
+    raise AssertionError("repro-grid parser has no subcommands")
+
+
+def test_cli_reference_covers_every_subcommand():
+    doc = (REPO_ROOT / "docs" / "CLI.md").read_text(encoding="utf-8")
+    missing = [name for name in _subcommand_names() if name not in doc]
+    assert not missing, (
+        f"docs/CLI.md does not mention subcommand(s): {missing}"
+    )
+
+
+def test_architecture_doc_names_every_layer():
+    doc = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    for layer in (
+        "repro.grid",
+        "repro.core",
+        "repro.heuristics",
+        "repro.workloads",
+        "repro.metrics",
+        "repro.registry",
+        "repro.experiments",
+    ):
+        assert layer in doc, f"ARCHITECTURE.md does not mention {layer}"
