@@ -17,6 +17,9 @@ Examples
     repro-grid shard fig8.json --shards 4 --out-dir shards/
     repro-grid run fig8.json --shard-index 1 --num-shards 4 --out runs/p1
     repro-grid merge runs/p0 runs/p1 --spec fig8.json --out runs/fig8
+    repro-grid merge runs/p0 --spec fig8.json --out runs/partial --allow-partial
+    repro-grid status shards/manifest.json
+    repro-grid resume shards/manifest.json --out runs/fig8
     repro-grid registry
     repro-grid compare-runs runs/baseline runs/tuned
     repro-grid compare-runs baselines/ci runs/new --fail-on-regression
@@ -27,12 +30,18 @@ the default is a fast scaled-down run with identical distributions.
 :class:`~repro.experiments.spec.ExperimentSpec` as JSON and ``run``
 executes any spec file — the shippable unit for distributing
 replications across hosts.  ``shard`` partitions a spec's
-(variant, seed) grid into sub-spec files, ``run --shard-index I
+(variant, seed) grid into sub-spec files (plus a ``manifest.json``
+tracking per-shard dispatch state), ``run --shard-index I
 --num-shards N`` executes one partition of a spec in place (every host
 derives the same deterministic partition), and ``merge`` recombines
 the partial run records into one record that is bit-identical to a
-single-host run (see :mod:`repro.experiments.dispatch` and
-``docs/CLI.md``).  ``compare-runs A B`` diffs two stored runs
+single-host run — ``merge --allow-partial`` accepts a still-incomplete
+set and reports completion percentage + missing cells instead of
+refusing.  ``status MANIFEST`` shows a sharded run's per-shard states
+and ``resume MANIFEST`` re-dispatches only the shards that never
+finished, then merges — the crash-recovery loop (see
+:mod:`repro.experiments.dispatch`, :mod:`repro.experiments.manifest`
+and ``docs/CLI.md``).  ``compare-runs A B`` diffs two stored runs
 per (variant, scheduler, metric) cell; with ``--fail-on-regression``
 it exits 1 when run B is statistically worse than baseline A by more
 than ``--threshold`` percent (the CI regression gate).
@@ -46,6 +55,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from pathlib import Path
 
 from repro.experiments.ablation import stga_vs_conventional
 from repro.experiments.config import RunSettings
@@ -60,9 +70,19 @@ from repro.experiments.fig9 import utilization_panels
 from repro.experiments.fig10 import psa_scaling_experiment, psa_scaling_spec
 from repro.experiments.dispatch import (
     SHARD_STRATEGIES,
+    ShardError,
+    grid_completion,
     merge_runs,
+    resume_manifest,
+    resume_todo,
     shard_file_name,
     shard_spec,
+)
+from repro.experiments.manifest import (
+    MANIFEST_JSON,
+    create_manifest,
+    load_manifest,
+    save_manifest,
 )
 from repro.experiments.spec import load_spec, run_spec, save_spec
 from repro.experiments.store import (
@@ -259,7 +279,59 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         required=True,
         metavar="DIR",
-        help="directory for the shard-<i>-of-<N>.json files",
+        help=(
+            "directory for the shard-<i>-of-<N>.json files and the "
+            "all-pending manifest.json"
+        ),
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="show the per-shard dispatch state of a run manifest",
+    )
+    status.add_argument(
+        "manifest",
+        metavar="MANIFEST",
+        help="manifest.json of a sharded run",
+    )
+
+    res = sub.add_parser(
+        "resume",
+        help=(
+            "re-dispatch the unfinished shards of a run manifest, "
+            "then merge"
+        ),
+    )
+    res.add_argument(
+        "manifest",
+        metavar="MANIFEST",
+        help="manifest.json of a sharded run",
+    )
+    res.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the merged run record "
+            "(default: <manifest dir>/merged)"
+        ),
+    )
+    res.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: one per CPU; 1 = sequential)",
+    )
+    res.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="K",
+        help=(
+            "extra dispatch attempts per failing shard before giving "
+            "up (default 1)"
+        ),
     )
 
     mrg = sub.add_parser(
@@ -297,6 +369,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "original unsharded spec; pins the merged seed/variant order "
             "to the spec's layout for bit-identical reassembly"
+        ),
+    )
+    mrg.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help=(
+            "merge the maximal complete sub-grid when shards are still "
+            "missing, reporting completion percentage and missing "
+            "cells instead of refusing"
         ),
     )
 
@@ -563,11 +644,119 @@ def _cmd_shard(args: argparse.Namespace) -> int:
             f"wrote {path} ({len(shard.variants)} variant(s) x "
             f"{len(shard.seeds)} seed(s) = {grid} grid cell(s))"
         )
-    print(
-        f"\nrun each shard anywhere with: repro-grid run <shard.json> "
-        f"--out <dir>, then recombine with: repro-grid merge <dir>... "
-        f"--spec {args.spec} --out <merged-dir>"
+    manifest = create_manifest(spec, shards, strategy=args.strategy)
+    manifest_path = save_manifest(
+        manifest, Path(args.out_dir) / MANIFEST_JSON
     )
+    print(f"wrote {manifest_path} ({len(shards)} shard(s), all pending)")
+    print(
+        f"\ndispatch (or crash-recover) the whole run with: repro-grid "
+        f"resume {manifest_path} --out <merged-dir>; or run each shard "
+        f"anywhere with: repro-grid run <shard.json> --out <dir>, then "
+        f"recombine with: repro-grid merge <dir>... --spec {args.spec} "
+        f"--out <merged-dir>"
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    try:
+        manifest = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(manifest.render())
+    if manifest.all_done:
+        print(
+            f"\nall shards done — merge with: repro-grid resume "
+            f"{args.manifest}"
+        )
+        return 0
+    incomplete = manifest.incomplete_indices()
+    print(
+        f"\n{len(incomplete)} shard(s) not done "
+        f"(indices {list(incomplete)}) — finish with: repro-grid resume "
+        f"{args.manifest}"
+    )
+    return 1
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    if args.max_workers is not None and args.max_workers < 1:
+        print(
+            f"--max-workers must be >= 1, got {args.max_workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_retries < 0:
+        print(
+            f"--max-retries must be >= 0, got {args.max_retries}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        before = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    todo = resume_todo(before, args.manifest)
+    if todo:
+        print(
+            f"resuming {before.spec.name!r}: dispatching shard(s) "
+            f"{list(todo)} of {before.n_shards}"
+        )
+    else:
+        print(
+            f"resuming {before.spec.name!r}: all {before.n_shards} "
+            f"shard(s) already done, merging only"
+        )
+    try:
+        manifest, merged = resume_manifest(
+            args.manifest,
+            max_workers=args.max_workers,
+            max_retries=args.max_retries,
+        )
+    except ShardError as exc:
+        print(str(exc), file=sys.stderr)
+        print(
+            f"the manifest records the failure; fix the cause and "
+            f"resume again (repro-grid status {args.manifest} shows "
+            f"the surviving shards)",
+            file=sys.stderr,
+        )
+        return 1
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"malformed run record: missing {exc}", file=sys.stderr)
+        return 2
+    out = (
+        args.out
+        if args.out
+        else str(Path(args.manifest).parent / "merged")
+    )
+    part_dirs = [
+        str(manifest.shard_run_dir(args.manifest, i))
+        for i in range(manifest.n_shards)
+    ]
+    run_dir = save_run(
+        merged,
+        out,
+        name=manifest.spec.name,
+        overwrite=True,
+        merged_from=part_dirs,
+        manifest={
+            "path": str(args.manifest),
+            "spec_sha256": manifest.spec_hash,
+        },
+    )
+    print(
+        f"merged {manifest.n_shards} shard record(s): "
+        f"{len(merged.variants)} variant(s) x {len(merged.seeds)} seed(s) "
+        f"x {len(merged.schedulers())} scheduler(s)"
+    )
+    print(f"saved merged run record to {run_dir}")
     return 0
 
 
@@ -581,13 +770,23 @@ def _cmd_merge(args: argparse.Namespace) -> int:
             return 2
     try:
         runs = [load_run(d) for d in args.run_dirs]
-        merged = merge_runs(runs, spec=spec)
+        merged = merge_runs(
+            runs, spec=spec, allow_partial=args.allow_partial
+        )
     except (OSError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     except KeyError as exc:
         print(f"malformed run record: missing {exc}", file=sys.stderr)
         return 2
+    if args.allow_partial:
+        completion = grid_completion(runs, spec=spec)
+        print(completion.render())
+        if not completion.complete:
+            print(
+                "partial merge: the record below holds the maximal "
+                "complete sub-grid"
+            )
     run_dir = save_run(
         merged,
         args.out,
@@ -723,6 +922,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.experiment == "shard":
         return _cmd_shard(args)
+    if args.experiment == "status":
+        return _cmd_status(args)
+    if args.experiment == "resume":
+        return _cmd_resume(args)
     if args.experiment == "merge":
         return _cmd_merge(args)
     if args.experiment == "emit-spec":

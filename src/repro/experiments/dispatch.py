@@ -1,11 +1,12 @@
 """Sharded spec execution: partition a spec, run the pieces anywhere,
-merge the partial run records back into one.
+merge the partial run records back into one — and survive dead shards.
 
 The replication grid of an :class:`~repro.experiments.spec.ExperimentSpec`
 — (variant, seed) cells, each an independent
 :func:`~repro.experiments.runner.run_lineup` call — is embarrassingly
 parallel, so a spec need not execute on a single host.  This module
-closes the ROADMAP's "distribute replications across hosts" loop:
+closes the ROADMAP's "distribute replications across hosts" loop and
+its fault-tolerance follow-up:
 
 1. :func:`shard_spec` deterministically partitions a spec's
    (variant, seed) grid along one axis into self-contained sub-specs.
@@ -23,45 +24,134 @@ closes the ROADMAP's "distribute replications across hosts" loop:
    :class:`~repro.experiments.sweep.MetricSummary` from the pooled
    per-seed raw values.
 
-The key invariant (enforced by ``tests/test_experiments_dispatch.py``
-and the CI shard/merge smoke job): shard → run → merge is
-*bit-identical* to a single-host :func:`~repro.experiments.spec.run_spec`
-at the same seeds — same per-cell reports, same ``run.json`` /
-``grid.csv`` payloads modulo provenance fields (record name,
-timestamps, git SHA, ``elapsed_seconds``, ``merged_from``, and the
-wall-clock ``scheduler_seconds`` report field).
+Fault tolerance
+---------------
+A shard is a process on a machine, and machines die.  Three layers
+keep a dead shard from costing the whole run:
+
+* **Retries.**  :func:`run_sharded` re-dispatches a failed shard up to
+  ``max_retries`` times; a shard that still fails surfaces as
+  :class:`ShardError` naming the shard index and sub-spec (never a raw
+  pool traceback from deep inside the worker).
+* **Manifests.**  With ``manifest_dir=``, every shard's
+  pending/running/done/failed state — attempt counts, timestamps,
+  captured errors, run-record locations — is persisted to a
+  ``manifest.json`` (:mod:`repro.experiments.manifest`) after each
+  transition, and each finished shard's run record is saved
+  immediately.  Killing the dispatcher at any point leaves a
+  consistent snapshot of exactly what completed.
+* **Resume.**  :func:`resume_manifest` (CLI: ``repro-grid resume``)
+  re-derives the deterministic partition from the manifest's embedded
+  spec, re-dispatches only the shards that never reached ``done``, and
+  merges — so kill → resume → merge equals an uninterrupted
+  single-host :func:`~repro.experiments.spec.run_spec` bit for bit.
+
+:func:`merge_runs` additionally accepts ``allow_partial=True``: when
+whole shards are still missing, it merges the maximal complete
+sub-grid instead of refusing, and :func:`grid_completion` reports the
+completion percentage and the missing (variant, seed) cells.
+
+The key invariant (enforced by ``tests/test_experiments_dispatch.py``,
+``tests/test_experiments_manifest.py`` and the CI shard/merge and
+crash-resume smoke jobs): shard → run → merge — interrupted and
+resumed or not — is *bit-identical* to a single-host
+:func:`~repro.experiments.spec.run_spec` at the same seeds — same
+per-cell reports, same ``run.json`` / ``grid.csv`` payloads modulo
+provenance fields (record name, timestamps, git SHA,
+``elapsed_seconds``, ``merged_from``, ``manifest``, and the wall-clock
+``scheduler_seconds`` report field).
 
 CLI
 ---
 ::
 
-    repro-grid shard fig8.json --shards 4 --out-dir shards/
-    # on each host i (or: repro-grid run shards/shard-<i>-of-4.json):
+    repro-grid shard fig8.json --shards 4 --out-dir work/
+    # fault-tolerant local dispatch (retries + manifest + merge):
+    repro-grid resume work/manifest.json --out runs/fig8
+    # …or ship shards to hosts by hand:
     repro-grid run fig8.json --shard-index i --num-shards 4 --out runs/part-i
-    # back on one host:
     repro-grid merge runs/part-* --spec fig8.json --out runs/fig8
+    # after a crash, see what survived and finish the rest:
+    repro-grid status work/manifest.json
+    repro-grid resume work/manifest.json --out runs/fig8
 """
 
 from __future__ import annotations
 
+import os
+from collections import deque
 from collections.abc import Sequence
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.experiments.config import PaperDefaults
+from repro.experiments.manifest import (
+    MANIFEST_JSON,
+    RunManifest,
+    create_manifest,
+    load_manifest,
+    save_manifest,
+)
 from repro.experiments.spec import ExperimentSpec, run_spec
-from repro.experiments.store import as_result
-from repro.experiments.sweep import SweepResult, parallel_map
+from repro.experiments.store import as_result, load_run, save_run
+from repro.experiments.sweep import SweepResult
 
 __all__ = [
     "SHARD_STRATEGIES",
+    "FAULT_ENV",
+    "ShardError",
+    "GridCompletion",
     "shard_spec",
     "shard_file_name",
     "run_sharded",
+    "resume_manifest",
+    "resume_todo",
     "merge_runs",
+    "grid_completion",
 ]
 
 #: shard_spec partition strategies: which grid axis is split.
 SHARD_STRATEGIES = ("auto", "seeds", "variants")
+
+#: fault-injection hook for crash-resume tests: a comma-separated list
+#: of shard indices that raise instead of executing (e.g.
+#: ``REPRO_FAULT_SHARDS=0`` kills shard 0 on every attempt while set).
+#: An index suffixed ``!`` (``"0!"``) hard-exits the worker process
+#: instead of raising — the SIGKILL/OOM simulation that breaks a whole
+#: process pool (in sequential dispatch it kills the dispatcher
+#: itself).  Read inside the worker, so it reaches pool subprocesses
+#: through the inherited environment.  Test/CI plumbing only — never
+#: set it in a real run.
+FAULT_ENV = "REPRO_FAULT_SHARDS"
+
+
+class ShardError(RuntimeError):
+    """A shard exhausted its dispatch attempts.
+
+    Wraps the worker's exception with the context a multi-host
+    operator needs — which shard of which spec died, after how many
+    attempts — instead of the bare pool traceback
+    ``ProcessPoolExecutor`` would propagate.  The underlying exception
+    stays available as :attr:`cause` (and ``__cause__``).
+    """
+
+    def __init__(
+        self, index: int, shard_name: str, attempts: int, cause: BaseException
+    ):
+        self.index = index
+        self.shard_name = shard_name
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(
+            f"shard {index} ({shard_name!r}) failed after {attempts} "
+            f"attempt(s): {type(cause).__name__}: {cause}"
+        )
 
 
 def _chunks(items: tuple, n: int) -> list[tuple]:
@@ -107,7 +197,9 @@ def shard_spec(
     exactly the original grid with no cell duplicated, and the
     partition is a pure function of ``(spec, n_shards, strategy)``, so
     independent hosts agree on it without coordination (that is what
-    makes ``repro-grid run --shard-index i --num-shards N`` safe).
+    makes ``repro-grid run --shard-index i --num-shards N`` safe, and
+    what lets :func:`resume_manifest` re-derive a manifest's partition
+    from its embedded spec alone).
 
     ``strategy`` picks the split axis: ``"seeds"`` gives every shard
     all variants and a seed subset, ``"variants"`` the reverse,
@@ -154,13 +246,178 @@ class _ShardTask:
     """Picklable unit of work: one shard, run sequentially in-process
     (the outer pool supplies the parallelism)."""
 
+    index: int
     shard: ExperimentSpec
     defaults: PaperDefaults
 
 
+def _injected_fault(index: int) -> None:
+    """Raise (or hard-exit, for ``!`` entries) if the :data:`FAULT_ENV`
+    hook names this shard."""
+    hook = os.environ.get(FAULT_ENV, "")
+    entries = [x.strip() for x in hook.split(",") if x.strip()]
+    if str(index) + "!" in entries:
+        os._exit(13)  # simulate SIGKILL/OOM: no exception, no cleanup
+    if str(index) in entries:
+        raise RuntimeError(
+            f"fault injection: {FAULT_ENV}={hook!r} killed shard {index}"
+        )
+
+
 def _run_shard(task: _ShardTask) -> SweepResult:
     """Worker entry point (module-level for ProcessPoolExecutor)."""
+    _injected_fault(task.index)
     return run_spec(task.shard, defaults=task.defaults, max_workers=1)
+
+
+class _ManifestTracker:
+    """Persists one dispatch's shard transitions as they happen.
+
+    Owns the current :class:`~repro.experiments.manifest.RunManifest`
+    snapshot and its file; every :meth:`mark` saves atomically, and
+    :meth:`record_done` writes the shard's run record *before* the
+    ``done`` state, so "done" on disk always implies a loadable record.
+    """
+
+    def __init__(self, manifest: RunManifest, path: str | Path):
+        self.manifest = manifest
+        self.path = Path(path)
+
+    def mark(self, index: int, state: str, *, error: str | None = None):
+        self.manifest = self.manifest.with_shard(index, state, error=error)
+        save_manifest(self.manifest, self.path)
+
+    def record_done(self, index: int, result: SweepResult) -> None:
+        run_dir = self.manifest.shard_run_dir(self.path, index)
+        save_run(
+            result,
+            run_dir,
+            name=self.manifest.shard(index).name,
+            overwrite=True,
+        )
+        self.mark(index, "done")
+
+
+def _dispatch_shards(
+    tasks: list[_ShardTask],
+    *,
+    max_workers: int | None = None,
+    max_retries: int = 0,
+    tracker: _ManifestTracker | None = None,
+) -> tuple[dict[int, SweepResult], dict[int, ShardError]]:
+    """Run shard tasks with per-shard retries; never raises for a
+    worker failure.
+
+    Returns ``(results, failures)`` keyed by shard index: every task
+    lands in exactly one of the two, a failure only after
+    ``max_retries + 1`` attempts.  One shard dying does not stop the
+    others — the surviving results are what a later resume builds on.
+    That holds even for a worker dying *abruptly* (SIGKILL, OOM),
+    which breaks the whole process pool: the pool is rebuilt, every
+    in-flight shard is charged one attempt, and the ``BrokenExecutor``
+    becomes that shard's captured cause — never an escaping raw
+    exception.  ``tracker`` (if any) persists every transition.
+    """
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    results: dict[int, SweepResult] = {}
+    failures: dict[int, ShardError] = {}
+
+    def completed(task: _ShardTask, result: SweepResult) -> None:
+        if tracker is not None:
+            tracker.record_done(task.index, result)
+        results[task.index] = result
+
+    def failed(task: _ShardTask, attempts: int, exc: BaseException) -> None:
+        err = ShardError(task.index, task.shard.name, attempts, exc)
+        if tracker is not None:
+            tracker.mark(task.index, "failed", error=str(err))
+        failures[task.index] = err
+
+    if max_workers == 1 or len(tasks) <= 1:
+        for task in tasks:
+            for attempt in range(1, max_retries + 2):
+                if tracker is not None:
+                    tracker.mark(task.index, "running")
+                try:
+                    result = _run_shard(task)
+                except Exception as exc:  # noqa: BLE001 — shard isolation
+                    if attempt == max_retries + 1:
+                        failed(task, attempt, exc)
+                else:
+                    completed(task, result)
+                    break
+        return results, failures
+
+    if max_workers is None:
+        max_workers = min(len(tasks), os.cpu_count() or 1)
+    attempts = {task.index: 0 for task in tasks}
+    queue = deque(tasks)
+    while queue:
+        # one pool per round: a worker dying abruptly (SIGKILL, OOM)
+        # breaks the whole ProcessPoolExecutor, so on BrokenExecutor
+        # the round ends, every in-flight shard is charged one attempt
+        # and requeued (or failed), and the next round gets a fresh
+        # pool — a hard-killed worker must surface as ShardError and
+        # cost only the shards it took down, never the whole dispatch
+        pending: dict = {}
+        in_hand: _ShardTask | None = None  # popped but submit blew up
+        broken: BrokenExecutor | None = None
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            try:
+                while queue or pending:
+                    # keep at most max_workers shards in flight, so a
+                    # shard marked "running" (attempts bumped,
+                    # started_at stamped) has a free worker picking it
+                    # up now — a merely queued shard stays "pending"
+                    # in the manifest
+                    while queue and len(pending) < max_workers:
+                        in_hand = queue.popleft()
+                        attempts[in_hand.index] += 1
+                        if tracker is not None:
+                            tracker.mark(in_hand.index, "running")
+                        pending[pool.submit(_run_shard, in_hand)] = in_hand
+                        in_hand = None
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        task = pending.pop(future)
+                        exc = future.exception()
+                        if exc is None:
+                            completed(task, future.result())
+                        elif attempts[task.index] <= max_retries:
+                            queue.append(task)  # retry when a slot frees
+                        else:
+                            failed(task, attempts[task.index], exc)
+            except BrokenExecutor as exc:
+                broken = exc
+        if broken is not None:
+            victims = list(pending.values())
+            if in_hand is not None:
+                victims.append(in_hand)
+            for task in victims:
+                if attempts[task.index] <= max_retries:
+                    queue.append(task)
+                else:
+                    failed(task, attempts[task.index], broken)
+    return results, failures
+
+
+def _merge_ordered(
+    results: dict[int, SweepResult], spec: ExperimentSpec, n_shards: int
+) -> SweepResult:
+    """Merge per-shard results in the spec's own grid layout."""
+    return SweepResult.merge(
+        [results[i] for i in range(n_shards)],
+        seeds_order=spec.seeds,
+        variants_order=[v.name for v in spec.variants],
+    )
+
+
+def _raise_first(failures: dict[int, ShardError]) -> None:
+    err = failures[min(failures)]
+    raise err from err.cause
 
 
 def run_sharded(
@@ -170,6 +427,8 @@ def run_sharded(
     strategy: str = "auto",
     defaults: PaperDefaults = PaperDefaults(),
     max_workers: int | None = None,
+    max_retries: int = 0,
+    manifest_dir: str | Path | None = None,
 ) -> SweepResult:
     """Shard → run → merge on one machine: the local dispatcher.
 
@@ -179,7 +438,21 @@ def run_sharded(
     partial results in the spec's own seed/variant order.  The result
     equals ``run_spec(spec)`` on every deterministic field — this is
     the in-process rehearsal of the multi-host shard/merge protocol,
-    and the CI smoke job's subject.
+    and the CI smoke jobs' subject.
+
+    A failing shard is retried up to ``max_retries`` times (attempts =
+    ``max_retries + 1``); one shard's death never cancels the others.
+    If any shard still fails, the call raises :class:`ShardError` with
+    the shard index and sub-spec name — with ``manifest_dir`` set, the
+    failure (and every completed shard's run record) is already on
+    disk at that point, so ``repro-grid resume
+    <manifest_dir>/manifest.json`` finishes the run without redoing
+    the survivors.
+
+    ``manifest_dir`` enables the durable mode: a fresh ``manifest.json``
+    plus per-shard ``part-<i>/`` run records are written there, every
+    state transition saved as it happens.  Without it the dispatch is
+    purely in-memory, as before.
 
     ``max_workers=1`` runs the shards sequentially (the tier-1 test
     path — no fork); ``None`` sizes the pool to
@@ -187,15 +460,210 @@ def run_sharded(
     """
     spec.validate()
     shards = shard_spec(spec, n_shards, strategy=strategy)
-    partials = parallel_map(
-        _run_shard,
-        [_ShardTask(shard=s, defaults=defaults) for s in shards],
+    tasks = [
+        _ShardTask(index=i, shard=shard, defaults=defaults)
+        for i, shard in enumerate(shards)
+    ]
+    tracker = None
+    if manifest_dir is not None:
+        manifest = create_manifest(spec, shards, strategy=strategy)
+        tracker = _ManifestTracker(
+            manifest, Path(manifest_dir) / MANIFEST_JSON
+        )
+        save_manifest(manifest, tracker.path)
+    results, failures = _dispatch_shards(
+        tasks,
         max_workers=max_workers,
+        max_retries=max_retries,
+        tracker=tracker,
     )
-    return SweepResult.merge(
-        partials,
-        seeds_order=spec.seeds,
-        variants_order=[v.name for v in spec.variants],
+    if failures:
+        _raise_first(failures)
+    return _merge_ordered(results, spec, len(shards))
+
+
+def _usable_done_results(
+    manifest: RunManifest, manifest_path: str | Path
+) -> tuple[dict[int, SweepResult], list[int]]:
+    """Split a manifest's ``done`` shards into loadable results and
+    stale indices.
+
+    A ``done`` shard whose run record is missing *or unreadable* (a
+    truncated ``run.json`` from a crashed save, a tampered payload) is
+    stale: its work is owed again — trusting the state over the
+    evidence would make the manifest unrecoverable by resume.
+    """
+    results: dict[int, SweepResult] = {}
+    stale: list[int] = []
+    for entry in manifest.shards:
+        if entry.state != "done":
+            continue
+        run_dir = manifest.shard_run_dir(manifest_path, entry.index)
+        try:
+            results[entry.index] = load_run(run_dir).result
+        except (FileNotFoundError, ValueError, KeyError, TypeError):
+            stale.append(entry.index)
+    return results, stale
+
+
+def resume_todo(
+    manifest: RunManifest, manifest_path: str | Path
+) -> tuple[int, ...]:
+    """The dispatch plan a :func:`resume_manifest` of this manifest
+    would follow: every shard not ``done``, plus ``done`` shards whose
+    run record is missing or unreadable (redone rather than trusted).
+    This is what ``repro-grid resume`` prints before dispatching, so
+    the announcement and the actual behaviour cannot diverge.
+    """
+    _, stale = _usable_done_results(manifest, manifest_path)
+    return tuple(sorted(set(manifest.incomplete_indices()) | set(stale)))
+
+
+def resume_manifest(
+    manifest_path: str | Path,
+    *,
+    defaults: PaperDefaults = PaperDefaults(),
+    max_workers: int | None = None,
+    max_retries: int = 1,
+) -> tuple[RunManifest, SweepResult]:
+    """Finish a manifest-tracked sharded run and merge it.
+
+    Loads the manifest (rejecting corruption and spec-hash mismatches
+    — see :func:`~repro.experiments.manifest.load_manifest`),
+    re-derives the deterministic partition from the embedded spec, and
+    re-dispatches only the shards that never reached ``done`` —
+    ``pending`` ones (a run that never started, e.g. a manifest fresh
+    from ``repro-grid shard``), ``running`` ones (a dispatcher that
+    died mid-shard without writing a terminal state), and ``failed``
+    ones.  A ``done`` shard whose run record has vanished from disk —
+    or no longer loads, e.g. a ``run.json`` truncated by a crash — is
+    reset to ``pending`` and redone rather than trusted.  When all
+    shards are already ``done`` the dispatch step is a no-op and the
+    call just merges.
+
+    Returns ``(manifest, merged)`` — the final manifest snapshot and
+    the merged :class:`SweepResult`, bit-identical to an uninterrupted
+    single-host ``run_spec`` of the embedded spec.  Raises
+    :class:`ShardError` if any shard still fails after its retries
+    (the manifest on disk records the failure; resume again once the
+    cause is fixed).
+    """
+    manifest_path = Path(manifest_path)
+    manifest = load_manifest(manifest_path)
+    spec = manifest.spec
+    spec.validate()
+    shards = shard_spec(spec, manifest.n_shards, strategy=manifest.strategy)
+    derived = [s.name for s in shards]
+    recorded = [e.name for e in manifest.shards]
+    if derived != recorded:
+        raise ValueError(
+            f"{manifest_path}: shard table {recorded} does not match the "
+            f"partition {derived} derived from the embedded spec — the "
+            "manifest was not produced by this spec/strategy"
+        )
+    tracker = _ManifestTracker(manifest, manifest_path)
+    results, stale = _usable_done_results(manifest, manifest_path)
+    for index in stale:
+        # the state says done but the evidence is gone: redo it
+        tracker.mark(index, "pending")
+    tasks = [
+        _ShardTask(index=i, shard=shards[i], defaults=defaults)
+        for i in tracker.manifest.incomplete_indices()
+    ]
+    ran, failures = _dispatch_shards(
+        tasks,
+        max_workers=max_workers,
+        max_retries=max_retries,
+        tracker=tracker,
+    )
+    results.update(ran)
+    if failures:
+        _raise_first(failures)
+    return tracker.manifest, _merge_ordered(results, spec, len(shards))
+
+
+@dataclass(frozen=True)
+class GridCompletion:
+    """Coverage of a (variant, seed) grid by a set of partial runs.
+
+    ``total`` counts the target grid's (variant, seed) cells (the
+    original spec's grid when one is given, else the union grid of the
+    parts), ``present`` how many at least one part reports, and
+    ``missing`` the absent cells in grid order — the report
+    ``repro-grid merge --allow-partial`` prints instead of refusing.
+    """
+
+    total: int
+    present: int
+    missing: tuple[tuple[str, int], ...]
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction in [0, 1] (1.0 for an empty grid)."""
+        return self.present / self.total if self.total else 1.0
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+    def render(self, *, limit: int = 20) -> str:
+        """One-line summary plus (capped) missing-cell listing."""
+        lines = [
+            f"completion: {self.present}/{self.total} "
+            f"(variant, seed) cell(s) = {self.fraction:.1%}"
+        ]
+        shown = self.missing[:limit]
+        for vname, seed in shown:
+            lines.append(f"  missing: ({vname!r}, seed {seed})")
+        if len(self.missing) > len(shown):
+            lines.append(
+                f"  … and {len(self.missing) - len(shown)} more missing "
+                "cell(s)"
+            )
+        return "\n".join(lines)
+
+
+def grid_completion(
+    runs: Sequence, *, spec: ExperimentSpec | None = None
+) -> GridCompletion:
+    """How much of the grid the partial runs cover.
+
+    ``runs`` takes the same mixed argument forms as :func:`merge_runs`.
+    With ``spec`` the denominator is the original unsharded grid —
+    including shards that never reported at all; without it, the union
+    grid of the parts (which can still have holes when the parts do
+    not tile).
+    """
+    results = [as_result(run) for run in runs]
+    if not results:
+        raise ValueError("need at least one run to measure completion")
+    if spec is not None:
+        vnames = [v.name for v in spec.variants]
+        seeds = list(spec.seeds)
+    else:
+        vnames = []
+        seen_seeds: set[int] = set()
+        for r in results:
+            for v in r.variants:
+                if v.name not in vnames:
+                    vnames.append(v.name)
+            seen_seeds.update(r.seeds)
+        seeds = sorted(seen_seeds)
+    present = {
+        (vname, seed)
+        for r in results
+        for vname in r.reports
+        for seed in r.seeds
+    }
+    missing = tuple(
+        (vname, seed)
+        for vname in vnames
+        for seed in seeds
+        if (vname, seed) not in present
+    )
+    total = len(vnames) * len(seeds)
+    return GridCompletion(
+        total=total, present=total - len(missing), missing=missing
     )
 
 
@@ -205,6 +673,7 @@ def merge_runs(
     spec: ExperimentSpec | None = None,
     seeds_order: Sequence[int] | None = None,
     variants_order: Sequence[str] | None = None,
+    allow_partial: bool = False,
 ) -> SweepResult:
     """Merge partial run records into one complete :class:`SweepResult`.
 
@@ -219,6 +688,13 @@ def merge_runs(
     :meth:`~repro.experiments.sweep.SweepResult.merge` for the union
     semantics (disjoint sets combine, overlapping cells must agree,
     the merged grid must be complete).
+
+    ``allow_partial=True`` relaxes the completeness rule for runs with
+    shards still missing: the merge keeps the largest complete
+    sub-grid it can form instead of raising (see
+    :meth:`SweepResult.merge` for the selection rule), and the
+    requested orderings act as layout filters.  Pair it with
+    :func:`grid_completion` to report what is absent.
     """
     if spec is not None:
         if seeds_order is None:
@@ -229,4 +705,5 @@ def merge_runs(
         [as_result(run) for run in runs],
         seeds_order=seeds_order,
         variants_order=variants_order,
+        allow_partial=allow_partial,
     )

@@ -1,0 +1,479 @@
+"""Run manifests: the durable state of a sharded, resumable dispatch.
+
+PR 4's shard/merge protocol distributes an
+:class:`~repro.experiments.spec.ExperimentSpec` across hosts, but a
+shard that dies leaves a hole the merge refuses — and nothing on disk
+says *which* shard died, how often it was tried, or where the
+surviving run records live.  This module adds that record of truth: a
+``manifest.json`` written next to a sharded run that tracks every
+shard of the partition from ``pending`` through ``running`` to
+``done`` or ``failed``, with attempt counts, timestamps, the captured
+error, and the run-record directory each shard reports into.
+
+The manifest embeds the full spec (plus its SHA-256, recomputed and
+verified on every load), so it is self-contained: ``repro-grid resume
+MANIFEST`` can re-derive the exact deterministic partition, re-dispatch
+only the shards that never finished, and merge — no other file needed.
+A manifest whose embedded spec no longer matches its recorded hash is
+rejected outright; silently resuming a *different* experiment would
+poison the merged record.
+
+State machine
+-------------
+::
+
+    pending ──► running ──► done        (terminal; reporting done twice
+       ▲           │                     is an error, not a no-op)
+       │           ▼
+       └──────  failed ──► running      (retry / resume re-dispatch)
+
+``running -> running`` is also legal: a host that crashed mid-shard
+never wrote a terminal state, and a resume re-dispatches it (bumping
+``attempts``).  ``done`` accepts no transition except the explicit
+``pending`` reset (used when a shard's run record vanished from disk
+and the work genuinely has to be redone).
+
+manifest.json schema (``schema_version`` 1)
+-------------------------------------------
+::
+
+    {
+      "schema_version": 1,
+      "kind":        "run-manifest",
+      "spec":        {<ExperimentSpec.to_dict()>},   # self-contained
+      "spec_sha256": str,   # canonical-JSON hash, verified on load
+      "n_shards":    int,
+      "strategy":    "auto" | "seeds" | "variants",
+      "created_at":  str,   # ISO-8601 UTC
+      "updated_at":  str,
+      "shards": [
+        {"index": int, "name": str,           # "<spec>#shard-i-of-k"
+         "n_variants": int, "n_seeds": int,
+         "run_dir": str,                      # relative to the manifest
+         "state": "pending"|"running"|"done"|"failed",
+         "attempts": int,
+         "error": str | null,                 # last failure, with shard
+         "started_at": str | null,            # context (never a bare
+         "finished_at": str | null}, ...      # pool traceback)
+      ]
+    }
+
+Dispatch itself lives in :mod:`repro.experiments.dispatch`
+(:func:`~repro.experiments.dispatch.run_sharded` writes a manifest when
+asked, :func:`~repro.experiments.dispatch.resume_manifest` picks one
+up); the CLI surface is ``repro-grid status`` / ``resume`` (see
+``docs/CLI.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.experiments.spec import ExperimentSpec
+from repro.util.tables import render_table
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "MANIFEST_JSON",
+    "SHARD_STATES",
+    "ShardEntry",
+    "RunManifest",
+    "spec_sha256",
+    "create_manifest",
+    "save_manifest",
+    "load_manifest",
+]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+#: canonical manifest file name inside a sharded-run directory
+MANIFEST_JSON = "manifest.json"
+
+#: the shard life cycle, in order of progress
+SHARD_STATES = ("pending", "running", "done", "failed")
+
+#: legal transitions: new state -> states it may be entered from.
+#: ``pending`` doubles as the explicit reset (any state, including a
+#: ``done`` shard whose run record vanished); ``done`` -> ``done`` is
+#: deliberately absent — a shard reporting done twice means two
+#: dispatchers raced on one manifest, which must surface, not no-op.
+_ALLOWED_FROM = {
+    "pending": ("pending", "running", "failed", "done"),
+    "running": ("pending", "running", "failed"),
+    "done": ("running",),
+    "failed": ("running",),
+}
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat()
+
+
+def spec_sha256(spec: ExperimentSpec | dict) -> str:
+    """SHA-256 of a spec's canonical JSON form.
+
+    Accepts the spec object or its :meth:`~ExperimentSpec.to_dict`
+    payload (the load path hashes the raw embedded dict *before*
+    constructing the spec, so tampering is caught even when the
+    payload still parses).  Canonical form: sorted keys, compact
+    separators — whitespace and key order cannot change the hash.
+    """
+    payload = spec.to_dict() if isinstance(spec, ExperimentSpec) else spec
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard's durable dispatch state.
+
+    ``run_dir`` is recorded relative to the manifest's directory so a
+    sharded-run directory can be moved (or mounted elsewhere) as a
+    unit; resolve it with :meth:`RunManifest.shard_run_dir`.
+    """
+
+    index: int
+    name: str
+    n_variants: int
+    n_seeds: int
+    run_dir: str
+    state: str = "pending"
+    attempts: int = 0
+    error: str | None = None
+    started_at: str | None = None
+    finished_at: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.state not in SHARD_STATES:
+            raise ValueError(
+                f"unknown shard state {self.state!r}; "
+                f"choose from {SHARD_STATES}"
+            )
+        if self.index < 0:
+            raise ValueError(f"shard index must be >= 0, got {self.index}")
+        if self.attempts < 0:
+            raise ValueError(
+                f"attempts must be >= 0, got {self.attempts}"
+            )
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The manifest of one sharded run: spec, partition, shard states.
+
+    Immutable like every result object in the package; state changes
+    go through :meth:`with_shard`, which returns a new manifest (the
+    dispatcher persists each transition with :func:`save_manifest`, so
+    the on-disk file is always a consistent snapshot).
+    """
+
+    spec: ExperimentSpec
+    spec_hash: str
+    n_shards: int
+    strategy: str
+    created_at: str
+    updated_at: str
+    shards: tuple[ShardEntry, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shards", tuple(self.shards))
+        indices = [s.index for s in self.shards]
+        if indices != list(range(len(self.shards))):
+            raise ValueError(
+                f"shard entries must be indexed 0..{len(self.shards) - 1} "
+                f"in order, got {indices}"
+            )
+        if self.n_shards != len(self.shards):
+            raise ValueError(
+                f"n_shards is {self.n_shards} but the manifest lists "
+                f"{len(self.shards)} shard entr(ies)"
+            )
+
+    # -- queries ------------------------------------------------------
+
+    def shard(self, index: int) -> ShardEntry:
+        """The entry for shard ``index`` (raises on a bad index)."""
+        if not (0 <= index < len(self.shards)):
+            raise ValueError(
+                f"no shard {index}: manifest has shards "
+                f"0..{len(self.shards) - 1}"
+            )
+        return self.shards[index]
+
+    def counts(self) -> dict[str, int]:
+        """``{state: count}`` over all shards (every state present)."""
+        out = {state: 0 for state in SHARD_STATES}
+        for entry in self.shards:
+            out[entry.state] += 1
+        return out
+
+    @property
+    def completion(self) -> float:
+        """Fraction of shards in state ``done`` (1.0 = resumable merge)."""
+        return self.counts()["done"] / len(self.shards)
+
+    @property
+    def all_done(self) -> bool:
+        return all(entry.state == "done" for entry in self.shards)
+
+    def incomplete_indices(self) -> tuple[int, ...]:
+        """Indices a resume must (re-)dispatch: everything not done."""
+        return tuple(
+            entry.index for entry in self.shards if entry.state != "done"
+        )
+
+    def shard_run_dir(self, manifest_path: str | Path, index: int) -> Path:
+        """Shard ``index``'s run-record directory, resolved against the
+        manifest file's location."""
+        return Path(manifest_path).parent / self.shard(index).run_dir
+
+    # -- transitions --------------------------------------------------
+
+    def with_shard(
+        self, index: int, state: str, *, error: str | None = None
+    ) -> "RunManifest":
+        """A new manifest with shard ``index`` moved to ``state``.
+
+        Enforces the module's state machine; in particular a ``done``
+        shard reporting ``done`` again raises (two dispatchers raced),
+        and only the explicit ``pending`` reset may leave ``done``.
+        Entering ``running`` bumps ``attempts`` and stamps
+        ``started_at``; terminal states stamp ``finished_at``;
+        ``error`` is recorded on ``failed`` and cleared otherwise.
+        """
+        if state not in SHARD_STATES:
+            raise ValueError(
+                f"unknown shard state {state!r}; choose from {SHARD_STATES}"
+            )
+        entry = self.shard(index)
+        if entry.state not in _ALLOWED_FROM[state]:
+            detail = (
+                "a shard cannot report done twice — two dispatchers "
+                "raced on this manifest?"
+                if entry.state == "done" and state == "done"
+                else f"legal predecessors: {_ALLOWED_FROM[state]}"
+            )
+            raise ValueError(
+                f"shard {index} ({entry.name!r}): illegal transition "
+                f"{entry.state!r} -> {state!r} ({detail})"
+            )
+        now = _utc_now()
+        if state == "running":
+            started = now
+        elif state == "pending":  # full reset: the work is owed again
+            started = None
+        else:
+            started = entry.started_at
+        updated = replace(
+            entry,
+            state=state,
+            attempts=entry.attempts + (1 if state == "running" else 0),
+            error=error if state == "failed" else None,
+            started_at=started,
+            finished_at=now if state in ("done", "failed") else None,
+        )
+        shards = list(self.shards)
+        shards[index] = updated
+        return replace(
+            self, shards=tuple(shards), updated_at=now
+        )
+
+    # -- serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (see the module docstring's schema)."""
+        return {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "kind": "run-manifest",
+            "spec": self.spec.to_dict(),
+            "spec_sha256": self.spec_hash,
+            "n_shards": self.n_shards,
+            "strategy": self.strategy,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "shards": [
+                {
+                    "index": entry.index,
+                    "name": entry.name,
+                    "n_variants": entry.n_variants,
+                    "n_seeds": entry.n_seeds,
+                    "run_dir": entry.run_dir,
+                    "state": entry.state,
+                    "attempts": entry.attempts,
+                    "error": entry.error,
+                    "started_at": entry.started_at,
+                    "finished_at": entry.finished_at,
+                }
+                for entry in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        """Inverse of :meth:`to_dict`, with integrity checks.
+
+        Rejects unsupported schema versions, a ``spec_sha256`` that
+        does not match the embedded spec (the payload was edited or
+        corrupted — resuming it could execute a different experiment),
+        and malformed shard tables (bad states, wrong indexing).
+        """
+        version = data.get("schema_version")
+        if version != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported manifest schema_version {version!r} "
+                f"(this reader supports {MANIFEST_SCHEMA_VERSION})"
+            )
+        recorded = data["spec_sha256"]
+        actual = spec_sha256(data["spec"])
+        if recorded != actual:
+            raise ValueError(
+                "spec-hash mismatch: manifest records spec_sha256 "
+                f"{recorded[:12]}… but the embedded spec hashes to "
+                f"{actual[:12]}… — the manifest was edited or corrupted; "
+                "refusing to resume a different experiment"
+            )
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            spec_hash=recorded,
+            n_shards=data["n_shards"],
+            strategy=data["strategy"],
+            created_at=data["created_at"],
+            updated_at=data["updated_at"],
+            shards=tuple(
+                ShardEntry(
+                    index=entry["index"],
+                    name=entry["name"],
+                    n_variants=entry["n_variants"],
+                    n_seeds=entry["n_seeds"],
+                    run_dir=entry["run_dir"],
+                    state=entry["state"],
+                    attempts=entry["attempts"],
+                    error=entry.get("error"),
+                    started_at=entry.get("started_at"),
+                    finished_at=entry.get("finished_at"),
+                )
+                for entry in data["shards"]
+            ),
+        )
+
+    def render(self) -> str:
+        """Human-readable status table (``repro-grid status``)."""
+        rows = [
+            [
+                entry.index,
+                entry.state,
+                entry.attempts,
+                f"{entry.n_variants}x{entry.n_seeds}",
+                entry.run_dir,
+                entry.error or "",
+            ]
+            for entry in self.shards
+        ]
+        counts = self.counts()
+        tally = ", ".join(
+            f"{counts[s]} {s}" for s in SHARD_STATES if counts[s]
+        )
+        table = render_table(
+            ["shard", "state", "attempts", "grid", "run record", "error"],
+            rows,
+            title=(
+                f"Manifest: {self.spec.name!r} "
+                f"({self.n_shards} shard(s), strategy {self.strategy})"
+            ),
+        )
+        return (
+            f"{table}\n\n{self.completion:.0%} complete ({tally}); "
+            f"spec sha256 {self.spec_hash[:12]}…"
+        )
+
+
+def create_manifest(
+    spec: ExperimentSpec,
+    shards: tuple[ExperimentSpec, ...],
+    *,
+    strategy: str = "auto",
+) -> RunManifest:
+    """A fresh all-pending manifest for one sharded run.
+
+    ``shards`` is the partition
+    :func:`repro.experiments.dispatch.shard_spec` produced from
+    ``spec`` (passed in rather than recomputed here so the manifest
+    layer stays free of dispatch imports); shard ``i`` reports into
+    ``part-<i>/`` next to the manifest file.
+    """
+    now = _utc_now()
+    return RunManifest(
+        spec=spec,
+        spec_hash=spec_sha256(spec),
+        n_shards=len(shards),
+        strategy=strategy,
+        created_at=now,
+        updated_at=now,
+        shards=tuple(
+            ShardEntry(
+                index=i,
+                name=shard.name,
+                n_variants=len(shard.variants),
+                n_seeds=len(shard.seeds),
+                run_dir=f"part-{i}",
+            )
+            for i, shard in enumerate(shards)
+        ),
+    )
+
+
+def save_manifest(manifest: RunManifest, path: str | Path) -> Path:
+    """Write ``manifest`` as JSON at ``path`` (parents created).
+
+    The write goes through a same-directory temp file and an atomic
+    rename, so a dispatcher killed mid-save leaves the previous
+    consistent snapshot, never a truncated file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        json.dump(manifest.to_dict(), fh, indent=1)
+        fh.write("\n")
+    tmp.replace(path)
+    return path
+
+
+def load_manifest(path: str | Path) -> RunManifest:
+    """Read a manifest written by :func:`save_manifest`.
+
+    A missing file raises ``FileNotFoundError``; anything that is not
+    a well-formed, hash-consistent manifest — truncated JSON, a
+    non-manifest document, a tampered spec payload, a malformed shard
+    table — raises ``ValueError`` with the file named, so ``resume``
+    can turn it into a clean exit-2 diagnostic.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no run manifest at {path}")
+    text = path.read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path}: corrupted or truncated manifest (not valid JSON: "
+            f"{exc})"
+        ) from None
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{path}: not a run manifest (top level is "
+            f"{type(data).__name__}, expected an object)"
+        )
+    try:
+        return RunManifest.from_dict(data)
+    except (KeyError, TypeError) as exc:
+        raise ValueError(
+            f"{path}: malformed manifest (missing or mistyped field: "
+            f"{exc})"
+        ) from None
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None

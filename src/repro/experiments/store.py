@@ -58,10 +58,15 @@ run.json schema (``schema_version`` 1)
           #                  one entry per seed, in ``seeds`` order
         }, ...
       },
-      "merged_from": [str, ...]        # OPTIONAL: the partial records
+      "merged_from": [str, ...],       # OPTIONAL: the partial records
       #  a merged run was assembled from (repro-grid merge); absent —
       #  not null — on directly-saved runs, so their payloads are
       #  unchanged.  Readers treat a missing key as "not a merge".
+      "manifest": {                    # OPTIONAL: dispatch provenance
+        "path": str,                   #  the manifest.json a resumed
+        "spec_sha256": str             #  run was merged from, plus its
+      }                                #  spec hash (repro-grid resume);
+      #  absent on runs not produced through a manifest.
     }
 
 Floats are serialized with ``repr`` round-tripping (the ``json``
@@ -93,6 +98,7 @@ from repro.metrics.report import PerformanceReport
 
 __all__ = [
     "SCHEMA_VERSION",
+    "RUN_JSON",
     "GATE_METRICS",
     "StoredRun",
     "new_run_dir",
@@ -134,6 +140,10 @@ class StoredRun:
     #: source records of a ``repro-grid merge`` product; None when the
     #: run was saved directly from a sweep
     merged_from: tuple[str, ...] | None = None
+    #: dispatch provenance of a manifest-tracked run (``repro-grid
+    #: resume``): ``{"path": ..., "spec_sha256": ...}`` naming the
+    #: manifest the record was merged from; None otherwise
+    manifest: dict | None = None
 
     def __str__(self) -> str:
         return (
@@ -178,6 +188,7 @@ def save_run(
     name: str | None = None,
     overwrite: bool = False,
     merged_from: Sequence[str] | None = None,
+    manifest: dict | None = None,
 ) -> Path:
     """Write one run record (``run.json`` + ``grid.csv``) at ``run_dir``.
 
@@ -185,8 +196,10 @@ def save_run(
     is only replaced with ``overwrite=True``; ``name`` defaults to the
     directory's base name.  ``merged_from`` records the partial-run
     paths a :func:`repro.experiments.dispatch.merge_runs` product was
-    assembled from (provenance only; omitted from the payload when
-    ``None``).  Returns the record path.
+    assembled from; ``manifest`` the ``{"path", "spec_sha256"}`` of the
+    run manifest a ``repro-grid resume`` merged through (both
+    provenance only; omitted from the payload when ``None``).  Returns
+    the record path.
     """
     run_dir = Path(run_dir)
     record = run_dir / RUN_JSON
@@ -216,9 +229,23 @@ def save_run(
     }
     if merged_from is not None:
         payload["merged_from"] = [str(p) for p in merged_from]
-    with record.open("w", encoding="utf-8") as fh:
+    if manifest is not None:
+        unknown = sorted(set(manifest) - {"path", "spec_sha256"})
+        if unknown:
+            raise ValueError(
+                f"manifest provenance allows keys path/spec_sha256, "
+                f"got extra {unknown}"
+            )
+        payload["manifest"] = {k: str(v) for k, v in manifest.items()}
+    # temp file + atomic rename: a crash mid-save must never leave a
+    # truncated run.json behind a shard marked "done" (resume treats
+    # an unreadable record as work owed, but a clean snapshot is
+    # better than a redo)
+    tmp = record.with_name(record.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1)
         fh.write("\n")
+    tmp.replace(record)
     _write_grid_csv(result, run_dir / GRID_CSV)
     return run_dir
 
@@ -268,8 +295,9 @@ def load_run(run_dir: str | Path) -> StoredRun:
     Only ``run.json`` is read (``grid.csv`` is a convenience export,
     never parsed back).  Unsupported ``schema_version`` values raise
     ``ValueError``; a missing record raises ``FileNotFoundError``.
-    Merge provenance (the optional ``merged_from`` key) surfaces as
-    :attr:`StoredRun.merged_from`, ``None`` for directly-saved runs.
+    Merge provenance (the optional ``merged_from`` and ``manifest``
+    keys) surfaces as :attr:`StoredRun.merged_from` /
+    :attr:`StoredRun.manifest`, ``None`` for directly-saved runs.
     """
     run_dir = Path(run_dir)
     record = run_dir / RUN_JSON
@@ -310,6 +338,7 @@ def load_run(run_dir: str | Path) -> StoredRun:
         schema_version=version,
         result=result,
         merged_from=tuple(merged_from) if merged_from is not None else None,
+        manifest=payload.get("manifest"),
     )
 
 

@@ -347,6 +347,7 @@ class SweepResult:
         *,
         seeds_order: Sequence[int] | None = None,
         variants_order: Sequence[str] | None = None,
+        allow_partial: bool = False,
     ) -> "SweepResult":
         """Union of partial sweep results into one complete grid.
 
@@ -372,12 +373,25 @@ class SweepResult:
           spec, and averaging the disagreement away would hide that.
         * The merged (variant, seed) grid must be complete: every
           variant needs a report at every merged seed, or the parts
-          "do not tile" and merging raises.
+          "do not tile" and merging raises — unless
+          ``allow_partial=True``, which instead keeps the largest
+          complete sub-grid it can form: every candidate seed-set
+          (each variant's fully covered seeds, plus their common
+          intersection) pairs with all variants covering it, and the
+          candidate with the most cells wins (first in variant order
+          on ties).  For the axis-aligned coverage a dead shard leaves
+          behind this is the maximal complete sub-grid.  That is the
+          ``repro-grid merge --allow-partial`` path for runs whose
+          shards are still missing; merging raises only when no
+          complete sub-grid exists at all.
 
         ``seeds_order`` / ``variants_order`` pin the output ordering
         (they must be permutations of the merged sets) so a merge can
         reproduce the original spec's layout bit for bit; by default
         seeds sort ascending and variants keep first-appearance order.
+        With ``allow_partial`` they act as layout *filters* instead —
+        elements outside the kept sub-grid are silently dropped, so the
+        original spec's orderings stay usable when shards are absent.
         ``elapsed_seconds`` sums the parts' recorded times (the total
         compute spent, not the dispatch wall-clock).
         """
@@ -443,24 +457,94 @@ class SweepResult:
                                 "bit-identical"
                             )
 
-        if seeds_order is not None:
-            seeds = _merged_order(
-                "seeds_order",
-                "seed",
-                tuple(int(s) for s in seeds_order),
-                seed_set,
+        if allow_partial:
+            # the largest complete sub-grid: every candidate seed-set
+            # (each variant's fully covered seeds, plus their common
+            # intersection) pairs with the variants covering it; keep
+            # the candidate with the most cells (ties go to the first
+            # candidate in variant order, so the choice is
+            # deterministic).  For axis-sharded partial runs — the
+            # shapes a dead shard actually leaves behind — this is the
+            # maximal complete sub-grid.
+            covered = {
+                vname: frozenset(
+                    s
+                    for s in seed_set
+                    if all(
+                        (vname, sched, s) in cells for sched in scheds
+                    )
+                )
+                for vname in variant_names
+            }
+            nonempty = [c for c in covered.values() if c]
+            candidates: list[frozenset] = []
+            for cand in [
+                *(covered[v] for v in variant_names),
+                frozenset.intersection(*nonempty) if nonempty else None,
+            ]:
+                if cand and cand not in candidates:
+                    candidates.append(cand)
+            if not candidates:
+                raise ValueError(
+                    "partial runs share no complete (variant, seed) "
+                    "sub-grid; nothing mergeable even with allow_partial"
+                )
+            scored = [
+                (
+                    cand,
+                    [v for v in variant_names if covered[v] >= cand],
+                )
+                for cand in candidates
+            ]
+            kept_seeds, kept_names = max(
+                scored, key=lambda c: len(c[0]) * len(c[1])
             )
+            # the orderings act as layout filters here, but duplicates
+            # are still rejected — repeating a seed would silently
+            # double-count its replication in every pooled summary
+            if seeds_order is not None:
+                ordered = tuple(int(s) for s in seeds_order)
+                if len(set(ordered)) != len(ordered):
+                    raise ValueError(
+                        f"seeds_order {ordered} contains duplicates"
+                    )
+                seeds = tuple(s for s in ordered if s in kept_seeds)
+            else:
+                seeds = tuple(sorted(kept_seeds))
+            if variants_order is not None:
+                ordered_v = tuple(variants_order)
+                if len(set(ordered_v)) != len(ordered_v):
+                    raise ValueError(
+                        f"variants_order {ordered_v} contains duplicates"
+                    )
+                kept = set(kept_names)
+                vnames = tuple(v for v in ordered_v if v in kept)
+            else:
+                vnames = tuple(kept_names)
+            if not seeds or not vnames:
+                raise ValueError(
+                    "the requested ordering excludes every complete "
+                    "cell of the partial merge"
+                )
         else:
-            seeds = tuple(sorted(seed_set))
-        if variants_order is not None:
-            vnames = _merged_order(
-                "variants_order",
-                "variant",
-                tuple(variants_order),
-                set(variant_names),
-            )
-        else:
-            vnames = tuple(variant_names)
+            if seeds_order is not None:
+                seeds = _merged_order(
+                    "seeds_order",
+                    "seed",
+                    tuple(int(s) for s in seeds_order),
+                    seed_set,
+                )
+            else:
+                seeds = tuple(sorted(seed_set))
+            if variants_order is not None:
+                vnames = _merged_order(
+                    "variants_order",
+                    "variant",
+                    tuple(variants_order),
+                    set(variant_names),
+                )
+            else:
+                vnames = tuple(variant_names)
 
         missing = [
             (vname, sched, seed)

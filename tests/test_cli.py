@@ -490,3 +490,194 @@ class TestRegressionGate:
         a = self._save_run(tmp_path, "a", (100.0, 101.0))
         b = self._save_run(tmp_path, "b", (150.0, 151.0))
         assert main(["compare-runs", a, b]) == 0
+
+
+class TestManifestCLI:
+    """shard-written manifests, status, resume, merge --allow-partial:
+    the crash-recovery loop at the CLI surface (the CI crash-resume
+    smoke job runs the same commands)."""
+
+    def _tiny_spec(self, tmp_path):
+        from repro.core.ga import GAConfig
+        from repro.experiments.config import RunSettings
+        from repro.experiments.spec import ExperimentSpec, save_spec
+        from repro.experiments.sweep import ScenarioVariant
+
+        spec = ExperimentSpec(
+            name="cli-manifest-tiny",
+            schedulers=("min-min-risky",),
+            variants=(
+                ScenarioVariant(name="psa", n_jobs=60, n_training_jobs=0),
+            ),
+            seeds=(11, 12),
+            metrics=("makespan",),
+            scale=0.1,
+            settings=RunSettings(
+                seed=11, ga=GAConfig(population_size=16, generations=4)
+            ),
+        )
+        return str(save_spec(spec, tmp_path / "spec.json"))
+
+    def _sharded(self, capsys, tmp_path):
+        spec_file = self._tiny_spec(tmp_path)
+        assert main([
+            "shard", spec_file, "--shards", "2",
+            "--out-dir", str(tmp_path / "work"),
+        ]) == 0
+        capsys.readouterr()
+        return spec_file, str(tmp_path / "work" / "manifest.json")
+
+    def test_shard_writes_all_pending_manifest(self, capsys, tmp_path):
+        spec_file = self._tiny_spec(tmp_path)
+        assert main([
+            "shard", spec_file, "--shards", "2",
+            "--out-dir", str(tmp_path / "work"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "manifest.json (2 shard(s), all pending)" in out
+        assert "repro-grid resume" in out
+        assert (tmp_path / "work" / "manifest.json").is_file()
+
+    def test_status_on_fresh_manifest_exits_one(self, capsys, tmp_path):
+        _, manifest = self._sharded(capsys, tmp_path)
+        assert main(["status", manifest]) == 1
+        out = capsys.readouterr().out
+        assert "cli-manifest-tiny" in out
+        assert "pending" in out
+        assert "0% complete" in out
+        assert "repro-grid resume" in out
+
+    def test_crash_resume_merge_equals_sequential(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """The acceptance flow: kill shard 0 mid-flight, resume the
+        manifest, gate the merged record against a sequential run at
+        threshold 0."""
+        from repro.experiments.dispatch import FAULT_ENV
+
+        spec_file, manifest = self._sharded(capsys, tmp_path)
+        monkeypatch.setenv(FAULT_ENV, "0")
+        assert main([
+            "resume", manifest, "--out", str(tmp_path / "merged"),
+            "--max-workers", "1", "--max-retries", "0",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "shard 0" in err
+        assert "fault injection" in err
+        assert "resume again" in err
+        monkeypatch.delenv(FAULT_ENV)
+
+        assert main(["status", manifest]) == 1
+        out = capsys.readouterr().out
+        assert "failed" in out
+        assert "50% complete" in out
+
+        assert main([
+            "resume", manifest, "--out", str(tmp_path / "merged"),
+            "--max-workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dispatching shard(s) [0] of 2" in out
+        assert "saved merged run record" in out
+
+        assert main(["status", manifest]) == 0
+        assert "all shards done" in capsys.readouterr().out
+
+        assert main([
+            "run", spec_file, "--max-workers", "1",
+            "--out", str(tmp_path / "seq"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compare-runs", str(tmp_path / "seq"), str(tmp_path / "merged"),
+            "--fail-on-regression", "--threshold", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 diverged" in out
+        assert "regression gate: clean" in out
+
+        # the merged record carries manifest + merged_from provenance
+        from repro.experiments.store import load_run
+
+        stored = load_run(tmp_path / "merged")
+        assert stored.manifest is not None
+        assert stored.manifest["path"] == manifest
+        assert stored.merged_from is not None
+        assert len(stored.merged_from) == 2
+
+    def test_resume_all_done_merges_only(self, capsys, tmp_path):
+        _, manifest = self._sharded(capsys, tmp_path)
+        assert main(["resume", manifest, "--max-workers", "1"]) == 0
+        capsys.readouterr()
+        assert main(["resume", manifest, "--max-workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "already done, merging only" in out
+        # default --out is <manifest dir>/merged
+        assert (tmp_path / "work" / "merged" / "run.json").is_file()
+
+    def test_resume_announces_stale_done_shard_redo(
+        self, capsys, tmp_path
+    ):
+        # a "done" shard whose run record vanished is redone — and the
+        # dispatch plan printed up front must say so, not claim a
+        # merge-only no-op
+        _, manifest = self._sharded(capsys, tmp_path)
+        assert main(["resume", manifest, "--max-workers", "1"]) == 0
+        (tmp_path / "work" / "part-1" / "run.json").unlink()
+        capsys.readouterr()
+        assert main(["resume", manifest, "--max-workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatching shard(s) [1] of 2" in out
+        assert "already done" not in out
+
+    def test_status_and_resume_reject_corrupt_manifest(
+        self, capsys, tmp_path
+    ):
+        bad = tmp_path / "manifest.json"
+        bad.write_text("{truncated", encoding="utf-8")
+        assert main(["status", str(bad)]) == 2
+        assert "corrupted or truncated" in capsys.readouterr().err
+        assert main(["resume", str(bad)]) == 2
+        assert "corrupted or truncated" in capsys.readouterr().err
+
+    def test_resume_bad_options_exit_two(self, capsys, tmp_path):
+        _, manifest = self._sharded(capsys, tmp_path)
+        assert main([
+            "resume", manifest, "--max-retries", "-1",
+        ]) == 2
+        assert "max-retries" in capsys.readouterr().err
+        assert main([
+            "resume", manifest, "--max-workers", "0",
+        ]) == 2
+        assert "max-workers" in capsys.readouterr().err
+
+    def test_merge_allow_partial_reports_completion(
+        self, capsys, tmp_path
+    ):
+        spec_file, manifest = self._sharded(capsys, tmp_path)
+        assert main([
+            "run", str(tmp_path / "work" / "shard-0-of-2.json"),
+            "--max-workers", "1", "--out", str(tmp_path / "p0"),
+        ]) == 0
+        capsys.readouterr()
+        # without the flag the incomplete set is refused
+        assert main([
+            "merge", str(tmp_path / "p0"),
+            "--spec", spec_file, "--out", str(tmp_path / "m"),
+        ]) == 2
+        assert "absent" in capsys.readouterr().err
+        # with it: completion report + maximal complete sub-grid saved
+        assert main([
+            "merge", str(tmp_path / "p0"),
+            "--spec", spec_file, "--out", str(tmp_path / "m"),
+            "--allow-partial",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "completion: 1/2" in out
+        assert "50.0%" in out
+        assert "missing" in out
+        assert "maximal complete sub-grid" in out
+        assert "saved merged run record" in out
+        from repro.experiments.store import load_run
+
+        assert load_run(tmp_path / "m").result.seeds == (11,)

@@ -1,0 +1,627 @@
+"""Tests for repro.experiments.manifest and the fault-tolerant
+dispatch loop built on it.
+
+The acceptance invariant lives here (and in the CI crash-resume smoke
+job): kill a shard mid-flight, ``resume`` the manifest, ``merge`` —
+and the result is bit-identical to an uninterrupted single-host
+``run_spec``.  Around it, the manifest edge cases: corrupted/truncated
+``manifest.json``, a shard reporting done twice, resume when all
+shards are already done (a no-op), and spec-hash mismatch rejection.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core.ga import GAConfig
+from repro.experiments import dispatch
+from repro.experiments.config import RunSettings
+from repro.experiments.dispatch import (
+    FAULT_ENV,
+    ShardError,
+    grid_completion,
+    merge_runs,
+    resume_manifest,
+    resume_todo,
+    run_sharded,
+    shard_spec,
+)
+from repro.experiments.manifest import (
+    MANIFEST_JSON,
+    SHARD_STATES,
+    create_manifest,
+    load_manifest,
+    save_manifest,
+    spec_sha256,
+)
+from repro.experiments.spec import ExperimentSpec, run_spec
+from repro.experiments.store import load_run, save_run
+from repro.experiments.sweep import ScenarioVariant
+
+FAST = RunSettings(seed=11, ga=GAConfig(population_size=16, generations=4))
+
+SPEC = ExperimentSpec(
+    name="manifest-tiny",
+    schedulers=("min-min-risky", "sufferage-risky"),
+    variants=(
+        ScenarioVariant(name="psa-a", n_jobs=60, n_training_jobs=0),
+        ScenarioVariant(name="psa-b", n_jobs=80, n_training_jobs=0),
+    ),
+    seeds=(11, 12, 13, 14),
+    metrics=("makespan", "n_fail"),
+    scale=0.1,
+    settings=FAST,
+)
+
+
+@pytest.fixture(scope="module")
+def single_host():
+    return run_spec(SPEC, max_workers=1)
+
+
+@pytest.fixture()
+def fresh_manifest():
+    shards = shard_spec(SPEC, 2)
+    return create_manifest(SPEC, shards, strategy="auto")
+
+
+def assert_cells_identical(a, b) -> None:
+    """Bit-identical per-cell reports modulo wall-clock seconds."""
+    assert a.variants == b.variants
+    assert a.seeds == b.seeds
+    assert a.schedulers() == b.schedulers()
+    for v in a.variants:
+        for sched in a.schedulers():
+            for ra, rb in zip(a.cell(v.name, sched), b.cell(v.name, sched)):
+                assert replace(ra, scheduler_seconds=0.0) == replace(
+                    rb, scheduler_seconds=0.0
+                )
+
+
+class TestManifestModel:
+    def test_create_is_all_pending(self, fresh_manifest):
+        m = fresh_manifest
+        assert m.n_shards == 2
+        assert [s.state for s in m.shards] == ["pending", "pending"]
+        assert [s.run_dir for s in m.shards] == ["part-0", "part-1"]
+        assert [s.attempts for s in m.shards] == [0, 0]
+        assert m.spec_hash == spec_sha256(SPEC)
+        assert m.completion == 0.0
+        assert not m.all_done
+        assert m.incomplete_indices() == (0, 1)
+
+    def test_round_trip_through_dict_and_file(self, fresh_manifest, tmp_path):
+        m = fresh_manifest.with_shard(0, "running").with_shard(0, "done")
+        again = type(m).from_dict(m.to_dict())
+        assert again == m
+        path = save_manifest(m, tmp_path / MANIFEST_JSON)
+        assert load_manifest(path) == m
+        # the atomic-save temp file must not linger
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_running_bumps_attempts_and_stamps_start(self, fresh_manifest):
+        m = fresh_manifest.with_shard(0, "running")
+        entry = m.shard(0)
+        assert entry.state == "running"
+        assert entry.attempts == 1
+        assert entry.started_at is not None
+        assert entry.finished_at is None
+        # a dispatcher that died mid-shard re-dispatches: running->running
+        again = m.with_shard(0, "running").shard(0)
+        assert again.attempts == 2
+
+    def test_done_records_finish_and_clears_error(self, fresh_manifest):
+        m = (
+            fresh_manifest.with_shard(0, "running")
+            .with_shard(0, "failed", error="boom")
+            .with_shard(0, "running")
+            .with_shard(0, "done")
+        )
+        entry = m.shard(0)
+        assert entry.state == "done"
+        assert entry.attempts == 2
+        assert entry.error is None
+        assert entry.finished_at is not None
+        assert m.completion == 0.5
+
+    def test_failed_records_error(self, fresh_manifest):
+        m = fresh_manifest.with_shard(1, "running").with_shard(
+            1, "failed", error="shard 1 exploded"
+        )
+        assert m.shard(1).error == "shard 1 exploded"
+        assert m.counts()["failed"] == 1
+
+    def test_done_twice_raises(self, fresh_manifest):
+        m = fresh_manifest.with_shard(0, "running").with_shard(0, "done")
+        with pytest.raises(ValueError, match="done twice"):
+            m.with_shard(0, "done")
+
+    def test_done_accepts_only_pending_reset(self, fresh_manifest):
+        m = fresh_manifest.with_shard(0, "running").with_shard(0, "done")
+        for state in ("running", "failed"):
+            with pytest.raises(ValueError, match="illegal transition"):
+                m.with_shard(0, state)
+        reset = m.with_shard(0, "pending").shard(0)
+        assert reset.state == "pending"
+        assert reset.started_at is None
+        assert reset.finished_at is None
+
+    def test_done_requires_running(self, fresh_manifest):
+        with pytest.raises(ValueError, match="illegal transition"):
+            fresh_manifest.with_shard(0, "done")
+        with pytest.raises(ValueError, match="illegal transition"):
+            fresh_manifest.with_shard(0, "failed")
+
+    def test_unknown_state_and_bad_index_rejected(self, fresh_manifest):
+        with pytest.raises(ValueError, match="unknown shard state"):
+            fresh_manifest.with_shard(0, "exploded")
+        with pytest.raises(ValueError, match="no shard 7"):
+            fresh_manifest.with_shard(7, "running")
+
+    def test_counts_covers_every_state(self, fresh_manifest):
+        assert set(fresh_manifest.counts()) == set(SHARD_STATES)
+
+    def test_render_names_states_and_spec(self, fresh_manifest):
+        text = fresh_manifest.with_shard(0, "running").render()
+        assert "manifest-tiny" in text
+        assert "running" in text
+        assert "pending" in text
+        assert "0% complete" in text
+
+
+class TestManifestIO:
+    def _saved(self, tmp_path, manifest):
+        return save_manifest(manifest, tmp_path / MANIFEST_JSON)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no run manifest"):
+            load_manifest(tmp_path / MANIFEST_JSON)
+
+    def test_corrupted_json(self, tmp_path):
+        path = tmp_path / MANIFEST_JSON
+        path.write_text("{this is not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupted or truncated"):
+            load_manifest(path)
+
+    def test_truncated_json(self, fresh_manifest, tmp_path):
+        path = self._saved(tmp_path, fresh_manifest)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupted or truncated"):
+            load_manifest(path)
+
+    def test_non_object_top_level(self, tmp_path):
+        path = tmp_path / MANIFEST_JSON
+        path.write_text("[1, 2, 3]\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="not a run manifest"):
+            load_manifest(path)
+
+    def test_missing_field_is_malformed(self, fresh_manifest, tmp_path):
+        path = self._saved(tmp_path, fresh_manifest)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        del data["shards"][0]["run_dir"]
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(ValueError, match="malformed manifest"):
+            load_manifest(path)
+
+    def test_spec_hash_mismatch_rejected(self, fresh_manifest, tmp_path):
+        # edit the embedded spec without refreshing the hash: resuming
+        # would silently execute a different experiment
+        path = self._saved(tmp_path, fresh_manifest)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["spec"]["seeds"] = [999]
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(ValueError, match="spec-hash mismatch"):
+            load_manifest(path)
+
+    def test_hash_ignores_formatting_but_not_content(self, fresh_manifest):
+        payload = SPEC.to_dict()
+        assert spec_sha256(payload) == spec_sha256(SPEC)
+        assert spec_sha256(payload) == fresh_manifest.spec_hash
+        assert spec_sha256(replace(SPEC, seeds=(11,))) != spec_sha256(SPEC)
+
+    def test_unsupported_schema_version(self, fresh_manifest, tmp_path):
+        path = self._saved(tmp_path, fresh_manifest)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["schema_version"] = 99
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(ValueError, match="schema_version"):
+            load_manifest(path)
+
+    def test_bad_shard_state_rejected(self, fresh_manifest, tmp_path):
+        path = self._saved(tmp_path, fresh_manifest)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["shards"][1]["state"] = "vanished"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(ValueError, match="unknown shard state"):
+            load_manifest(path)
+
+    def test_misindexed_shard_table_rejected(self, fresh_manifest, tmp_path):
+        path = self._saved(tmp_path, fresh_manifest)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["shards"][0]["index"] = 1
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(ValueError, match="indexed 0"):
+            load_manifest(path)
+
+
+class TestRetryingDispatch:
+    def test_shard_failure_carries_context(self, monkeypatch, tmp_path):
+        """The bugfix: a dying worker surfaces as ShardError naming the
+        shard index and sub-spec, not as a bare pool traceback."""
+        monkeypatch.setenv(FAULT_ENV, "1")
+        with pytest.raises(ShardError) as err:
+            run_sharded(SPEC, 2, max_workers=1)
+        assert err.value.index == 1
+        assert err.value.shard_name == "manifest-tiny#shard-1-of-2"
+        assert err.value.attempts == 1
+        assert isinstance(err.value.cause, RuntimeError)
+        assert "shard 1" in str(err.value)
+        assert "manifest-tiny#shard-1-of-2" in str(err.value)
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+    def test_retry_recovers_a_flaky_shard(
+        self, monkeypatch, tmp_path, single_host
+    ):
+        real = dispatch._run_shard
+        calls = {"n": 0}
+
+        def flaky(task):
+            if task.index == 0:
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("transient shard death")
+            return real(task)
+
+        monkeypatch.setattr(dispatch, "_run_shard", flaky)
+        merged = run_sharded(
+            SPEC,
+            2,
+            max_workers=1,
+            max_retries=1,
+            manifest_dir=tmp_path / "work",
+        )
+        assert_cells_identical(single_host, merged)
+        manifest = load_manifest(tmp_path / "work" / MANIFEST_JSON)
+        assert manifest.all_done
+        assert manifest.shard(0).attempts == 2  # failed once, retried
+        assert manifest.shard(1).attempts == 1
+
+    def test_exhausted_retries_persist_failed_state(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(FAULT_ENV, "0")
+        with pytest.raises(ShardError, match="after 3 attempt"):
+            run_sharded(
+                SPEC,
+                2,
+                max_workers=1,
+                max_retries=2,
+                manifest_dir=tmp_path / "work",
+            )
+        manifest = load_manifest(tmp_path / "work" / MANIFEST_JSON)
+        assert manifest.shard(0).state == "failed"
+        assert manifest.shard(0).attempts == 3
+        assert "fault injection" in manifest.shard(0).error
+        # the healthy shard finished and its run record is loadable
+        assert manifest.shard(1).state == "done"
+        part = load_run(
+            manifest.shard_run_dir(tmp_path / "work" / MANIFEST_JSON, 1)
+        )
+        assert part.name == "manifest-tiny#shard-1-of-2"
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            run_sharded(SPEC, 2, max_workers=1, max_retries=-1)
+
+    def test_hard_killed_worker_surfaces_as_shard_error(
+        self, monkeypatch, tmp_path, single_host
+    ):
+        """A worker dying abruptly (SIGKILL/OOM: the '!' hook variant)
+        breaks the whole process pool — the dispatch must still report
+        a ShardError, keep the survivors, and stay resumable."""
+        monkeypatch.setenv(FAULT_ENV, "0!")
+        with pytest.raises(ShardError) as err:
+            run_sharded(
+                SPEC,
+                2,
+                max_workers=2,
+                max_retries=1,
+                manifest_dir=tmp_path / "work",
+            )
+        assert "BrokenProcessPool" in str(err.value)
+        monkeypatch.delenv(FAULT_ENV)
+        path = tmp_path / "work" / MANIFEST_JSON
+        manifest = load_manifest(path)
+        assert manifest.shard(0).state == "failed"
+        # shard 1 either finished or went down with the pool; resume
+        # recovers whichever state it landed in
+        manifest, merged = resume_manifest(path, max_workers=1)
+        assert manifest.all_done
+        assert_cells_identical(single_host, merged)
+
+    def test_manifest_dir_records_full_clean_run(
+        self, tmp_path, single_host
+    ):
+        merged = run_sharded(
+            SPEC, 2, max_workers=1, manifest_dir=tmp_path / "work"
+        )
+        assert_cells_identical(single_host, merged)
+        manifest = load_manifest(tmp_path / "work" / MANIFEST_JSON)
+        assert manifest.all_done
+        assert manifest.completion == 1.0
+        for i in range(2):
+            stored = load_run(tmp_path / "work" / f"part-{i}")
+            assert stored.name == f"manifest-tiny#shard-{i}-of-2"
+
+
+class TestResume:
+    def _crashed_run(self, tmp_path, monkeypatch, *, doomed="0"):
+        """A manifest left behind by a dispatch whose shard died."""
+        monkeypatch.setenv(FAULT_ENV, doomed)
+        with pytest.raises(ShardError):
+            run_sharded(
+                SPEC, 2, max_workers=1, manifest_dir=tmp_path / "work"
+            )
+        monkeypatch.delenv(FAULT_ENV)
+        return tmp_path / "work" / MANIFEST_JSON
+
+    def test_kill_resume_merge_equals_single_host(
+        self, tmp_path, monkeypatch, single_host
+    ):
+        """The acceptance criterion: kill shard -> resume -> merge is
+        bit-identical to an uninterrupted run_spec."""
+        path = self._crashed_run(tmp_path, monkeypatch)
+        manifest, merged = resume_manifest(path, max_workers=1)
+        assert manifest.all_done
+        assert manifest.shard(0).attempts == 2  # crash + resume
+        assert_cells_identical(single_host, merged)
+
+    def test_resumed_record_payload_identical_modulo_provenance(
+        self, tmp_path, monkeypatch, single_host
+    ):
+        path = self._crashed_run(tmp_path, monkeypatch)
+        _, merged = resume_manifest(path, max_workers=1)
+        a = save_run(single_host, tmp_path / "seq", name="x")
+        b = save_run(
+            merged,
+            tmp_path / "resumed",
+            name="x",
+            merged_from=["p0", "p1"],
+            manifest={"path": str(path), "spec_sha256": spec_sha256(SPEC)},
+        )
+        pa = json.loads((a / "run.json").read_text(encoding="utf-8"))
+        pb = json.loads((b / "run.json").read_text(encoding="utf-8"))
+        for payload in (pa, pb):
+            for key in ("created_at", "git_sha", "elapsed_seconds"):
+                payload.pop(key)
+            payload.pop("merged_from", None)
+            payload.pop("manifest", None)
+            for per_sched in payload["reports"].values():
+                for reps in per_sched.values():
+                    for rep in reps:
+                        rep["scheduler_seconds"] = 0.0
+        assert pa == pb
+
+    def test_resume_all_done_is_a_noop_dispatch(
+        self, tmp_path, monkeypatch, single_host
+    ):
+        run_sharded(SPEC, 2, max_workers=1, manifest_dir=tmp_path / "work")
+
+        def explode(task):  # resume must not re-run anything
+            raise AssertionError("no shard should be dispatched")
+
+        monkeypatch.setattr(dispatch, "_run_shard", explode)
+        path = tmp_path / "work" / MANIFEST_JSON
+        before = load_manifest(path)
+        manifest, merged = resume_manifest(path, max_workers=1)
+        assert manifest == before  # attempts untouched by the no-op
+        assert_cells_identical(single_host, merged)
+
+    def test_resume_redoes_done_shard_with_missing_record(
+        self, tmp_path, single_host
+    ):
+        run_sharded(SPEC, 2, max_workers=1, manifest_dir=tmp_path / "work")
+        record = tmp_path / "work" / "part-1" / "run.json"
+        record.unlink()  # "done" state, evidence gone
+        path = tmp_path / "work" / MANIFEST_JSON
+        assert resume_todo(load_manifest(path), path) == (1,)
+        manifest, merged = resume_manifest(path, max_workers=1)
+        assert manifest.all_done
+        assert manifest.shard(1).attempts == 2  # redone, not trusted
+        assert_cells_identical(single_host, merged)
+        assert record.is_file()
+
+    def test_resume_redoes_done_shard_with_corrupt_record(
+        self, tmp_path, single_host
+    ):
+        # a run.json truncated by a crashed save is as untrustworthy
+        # as a missing one: redo the shard, don't dead-end resume
+        run_sharded(SPEC, 2, max_workers=1, manifest_dir=tmp_path / "work")
+        record = tmp_path / "work" / "part-0" / "run.json"
+        record.write_text(
+            record.read_text(encoding="utf-8")[:100], encoding="utf-8"
+        )
+        path = tmp_path / "work" / MANIFEST_JSON
+        assert resume_todo(load_manifest(path), path) == (0,)
+        manifest, merged = resume_manifest(path, max_workers=1)
+        assert manifest.all_done
+        assert manifest.shard(0).attempts == 2
+        assert_cells_identical(single_host, merged)
+
+    def test_resume_todo_covers_every_non_done_state(
+        self, tmp_path, monkeypatch
+    ):
+        path = self._crashed_run(tmp_path, monkeypatch)
+        manifest = load_manifest(path)
+        assert manifest.shard(0).state == "failed"
+        assert resume_todo(manifest, path) == (0,)
+        assert resume_todo(
+            manifest.with_shard(0, "running"), path
+        ) == (0,)
+
+    def test_resume_still_failing_raises_and_records(
+        self, tmp_path, monkeypatch
+    ):
+        path = self._crashed_run(tmp_path, monkeypatch)
+        monkeypatch.setenv(FAULT_ENV, "0")
+        with pytest.raises(ShardError, match="shard 0"):
+            resume_manifest(path, max_workers=1, max_retries=0)
+        manifest = load_manifest(path)
+        assert manifest.shard(0).state == "failed"
+        assert manifest.shard(0).attempts == 2
+
+    def test_resume_rejects_tampered_shard_table(
+        self, tmp_path, monkeypatch
+    ):
+        path = self._crashed_run(tmp_path, monkeypatch)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["shards"][0]["name"] = "someone-elses-shard"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(ValueError, match="does not match the partition"):
+            resume_manifest(path, max_workers=1)
+
+    def test_resume_rejects_corrupt_manifest(self, tmp_path):
+        path = tmp_path / MANIFEST_JSON
+        path.write_text("{oops", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupted or truncated"):
+            resume_manifest(path)
+
+
+class TestPartialMerge:
+    @pytest.fixture(scope="class")
+    def seed_shards(self):
+        return [
+            run_spec(s, max_workers=1)
+            for s in shard_spec(SPEC, 2, strategy="seeds")
+        ]
+
+    def test_missing_seed_shard_keeps_complete_subgrid(
+        self, seed_shards, single_host
+    ):
+        partial = merge_runs([seed_shards[0]], spec=SPEC, allow_partial=True)
+        assert partial.seeds == (11, 12)  # shard 1's seeds are gone
+        assert [v.name for v in partial.variants] == ["psa-a", "psa-b"]
+        for v in partial.variants:
+            for sched in partial.schedulers():
+                for ra, rb in zip(
+                    partial.cell(v.name, sched),
+                    single_host.cell(v.name, sched)[:2],
+                ):
+                    assert replace(ra, scheduler_seconds=0.0) == replace(
+                        rb, scheduler_seconds=0.0
+                    )
+
+    def test_missing_variant_shard_keeps_surviving_variants(
+        self, single_host
+    ):
+        shards = shard_spec(SPEC, 2, strategy="variants")
+        part = run_spec(shards[1], max_workers=1)
+        partial = merge_runs([part], spec=SPEC, allow_partial=True)
+        assert [v.name for v in partial.variants] == ["psa-b"]
+        assert partial.seeds == SPEC.seeds
+        for ra, rb in zip(
+            partial.cell("psa-b", partial.schedulers()[0]),
+            single_host.cell("psa-b", single_host.schedulers()[0]),
+        ):
+            assert replace(ra, scheduler_seconds=0.0) == replace(
+                rb, scheduler_seconds=0.0
+            )
+
+    def test_complete_parts_merge_identically_with_flag(
+        self, seed_shards, single_host
+    ):
+        strict = merge_runs(seed_shards, spec=SPEC)
+        relaxed = merge_runs(seed_shards, spec=SPEC, allow_partial=True)
+        assert strict == relaxed
+        assert_cells_identical(single_host, relaxed)
+
+    def test_disjoint_coverage_keeps_one_complete_side(self):
+        # variant a covers seeds {11,12}, variant b covers {13,14}:
+        # no common seed, but each side is a complete sub-grid — the
+        # merge keeps one (ties go to the first variant) instead of
+        # refusing
+        a = replace(
+            SPEC, name="a", variants=SPEC.variants[:1], seeds=(11, 12)
+        )
+        b = replace(
+            SPEC, name="b", variants=SPEC.variants[1:], seeds=(13, 14)
+        )
+        parts = [run_spec(s, max_workers=1) for s in (a, b)]
+        partial = merge_runs(parts, allow_partial=True)
+        assert [v.name for v in partial.variants] == ["psa-a"]
+        assert partial.seeds == (11, 12)
+
+    def test_lopsided_coverage_keeps_the_larger_grid(self):
+        # variant a covers all 4 seeds, variant b only seed 14: the
+        # 1x4 grid beats the 2x1 intersection grid — a barely covered
+        # straggler must not discard the well-covered variant's data
+        a = replace(SPEC, name="a", variants=SPEC.variants[:1])
+        b = replace(
+            SPEC, name="b", variants=SPEC.variants[1:], seeds=(14,)
+        )
+        parts = [run_spec(s, max_workers=1) for s in (a, b)]
+        partial = merge_runs(parts, spec=SPEC, allow_partial=True)
+        assert [v.name for v in partial.variants] == ["psa-a"]
+        assert partial.seeds == SPEC.seeds
+
+    def test_common_intersection_candidate_wins_when_largest(self):
+        # a covers {11,12,13}, b covers {12,13}: the shared {12,13}
+        # slab over both variants (4 cells) beats a alone (3 cells)
+        a = replace(
+            SPEC, name="a", variants=SPEC.variants[:1], seeds=(11, 12, 13)
+        )
+        b = replace(
+            SPEC, name="b", variants=SPEC.variants[1:], seeds=(12, 13)
+        )
+        parts = [run_spec(s, max_workers=1) for s in (a, b)]
+        partial = merge_runs(parts, allow_partial=True)
+        assert [v.name for v in partial.variants] == ["psa-a", "psa-b"]
+        assert partial.seeds == (12, 13)
+
+    def test_grid_completion_against_spec(self, seed_shards):
+        completion = grid_completion([seed_shards[0]], spec=SPEC)
+        assert completion.total == 8  # 2 variants x 4 seeds
+        assert completion.present == 4
+        assert completion.fraction == 0.5
+        assert not completion.complete
+        assert ("psa-a", 13) in completion.missing
+        text = completion.render()
+        assert "4/8" in text
+        assert "50.0%" in text
+        assert "psa-a" in text
+
+    def test_grid_completion_union_denominator(self, seed_shards):
+        # without a spec the denominator is the union grid, which is
+        # complete here (each part tiles its own seeds)
+        completion = grid_completion([seed_shards[0]])
+        assert completion.complete
+        assert completion.fraction == 1.0
+
+    def test_grid_completion_render_caps_listing(self, seed_shards):
+        completion = grid_completion([seed_shards[0]], spec=SPEC)
+        text = completion.render(limit=1)
+        assert "and 3 more missing" in text
+
+    def test_grid_completion_needs_runs(self):
+        with pytest.raises(ValueError, match="at least one run"):
+            grid_completion([])
+
+    def test_partial_orderings_reject_duplicates(self, seed_shards):
+        # the allow_partial orderings are filters, but a duplicated
+        # seed would double-count its replication in every summary
+        from repro.experiments.sweep import SweepResult
+
+        with pytest.raises(ValueError, match="duplicates"):
+            SweepResult.merge(
+                [seed_shards[0]],
+                seeds_order=(11, 11, 12),
+                allow_partial=True,
+            )
+        with pytest.raises(ValueError, match="duplicates"):
+            SweepResult.merge(
+                [seed_shards[0]],
+                variants_order=("psa-a", "psa-a", "psa-b"),
+                allow_partial=True,
+            )

@@ -144,6 +144,32 @@ class TestSaveLoadRoundTrip:
             save_run(sweep_result, tmp_path / "demo")
         save_run(sweep_result, tmp_path / "demo", overwrite=True)
 
+    def test_manifest_provenance_round_trips(self, sweep_result, tmp_path):
+        stored = load_run(save_run(
+            sweep_result,
+            tmp_path / "resumed",
+            manifest={"path": "work/manifest.json", "spec_sha256": "ab" * 32},
+        ))
+        assert stored.manifest == {
+            "path": "work/manifest.json",
+            "spec_sha256": "ab" * 32,
+        }
+        # a directly-saved record carries no manifest key at all
+        plain = save_run(sweep_result, tmp_path / "plain")
+        payload = json.loads((plain / "run.json").read_text())
+        assert "manifest" not in payload
+        assert load_run(plain).manifest is None
+
+    def test_manifest_provenance_rejects_unknown_keys(
+        self, sweep_result, tmp_path
+    ):
+        with pytest.raises(ValueError, match="path/spec_sha256"):
+            save_run(
+                sweep_result,
+                tmp_path / "bad",
+                manifest={"path": "x", "oops": "y"},
+            )
+
     def test_load_missing_and_bad_version(self, sweep_result, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_run(tmp_path / "nope")
