@@ -23,6 +23,11 @@ Examples
     repro-grid registry
     repro-grid compare-runs runs/baseline runs/tuned
     repro-grid compare-runs baselines/ci runs/new --fail-on-regression
+    repro-grid sweep --scale 0.01 --store sqlite:runs.db
+    repro-grid runs list --store sqlite:runs.db
+    repro-grid runs show 3 --store sqlite:runs.db
+    repro-grid runs import runs/20260728T093102Z-baseline --store sqlite:runs.db
+    repro-grid runs export 3 out/baseline --store sqlite:runs.db
 
 ``--scale 1.0`` runs the paper-size experiments (minutes of CPU time);
 the default is a fast scaled-down run with identical distributions.
@@ -46,6 +51,14 @@ per (variant, scheduler, metric) cell; with ``--fail-on-regression``
 it exits 1 when run B is statistically worse than baseline A by more
 than ``--threshold`` percent (the CI regression gate).
 
+Run records live in pluggable *stores* (see ``docs/STORE.md``):
+``--store URI`` on ``sweep``, ``run``, ``merge``, ``resume`` and
+``compare-runs`` names one (``fs:runs`` — the default directory
+registry — or ``sqlite:runs.db``), and the ``runs`` subcommand family
+(``list`` / ``show`` / ``import`` / ``export``) manages a store's
+contents directly, defaulting to the ``REPRO_STORE`` environment
+variable and then ``fs:runs``.
+
 Each subcommand owns its options: write ``repro-grid fig8 --scale
 0.1``, not ``repro-grid --scale 0.1 fig8``.
 """
@@ -54,6 +67,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from pathlib import Path
 
@@ -86,9 +100,13 @@ from repro.experiments.manifest import (
 )
 from repro.experiments.spec import load_spec, run_spec, save_spec
 from repro.experiments.store import (
+    STORE_ENV,
+    RunStore,
+    as_result,
     compare_runs,
     find_regressions,
     load_run,
+    open_store,
     save_run,
 )
 from repro.experiments.sweep import (
@@ -143,6 +161,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=3.0,
         help="Eq.1 failure-rate constant lambda (default 3.0)",
+    )
+
+
+def _add_store(parser: argparse.ArgumentParser, help_: str) -> None:
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="URI",
+        help=f"{help_} (fs:DIR or sqlite:FILE; see docs/STORE.md)",
     )
 
 
@@ -208,6 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
             "(run.json + grid.csv; overwrites an existing record)"
         ),
     )
+    _add_store(
+        sweep, "persist the sweep into this run store instead of --out"
+    )
 
     run = sub.add_parser(
         "run", help="execute a declarative experiment spec (JSON)"
@@ -225,6 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persist the result as a run record at DIR",
+    )
+    _add_store(
+        run, "persist the result into this run store instead of --out"
     )
     run.add_argument(
         "--shard-index",
@@ -317,6 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: <manifest dir>/merged)"
         ),
     )
+    _add_store(
+        res, "save the merged run into this run store instead of --out"
+    )
     res.add_argument(
         "--max-workers",
         type=int,
@@ -347,9 +384,15 @@ def build_parser() -> argparse.ArgumentParser:
     mrg.add_argument(
         "--out",
         type=str,
-        required=True,
+        default=None,
         metavar="DIR",
-        help="directory for the merged run record",
+        help=(
+            "directory for the merged run record (exactly one of "
+            "--out and --store is required)"
+        ),
+    )
+    _add_store(
+        mrg, "save the merged run into this run store instead of --out"
     )
     mrg.add_argument(
         "--name",
@@ -431,6 +474,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression gate: tolerated mean increase in percent "
         "(default 5.0)",
     )
+    _add_store(
+        cmp_,
+        "resolve RUN_A/RUN_B as refs in this run store "
+        "(falling back to record paths)",
+    )
+
+    runs = sub.add_parser(
+        "runs",
+        help="manage a run store (list / show / import / export)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_cmd", required=True)
+    store_help = (
+        "the run store to operate on (default: the REPRO_STORE "
+        "environment variable, then fs:runs)"
+    )
+
+    rls = runs_sub.add_parser(
+        "list", help="list a store's runs, oldest first"
+    )
+    for flag, help_ in (
+        ("--name", "only runs with this record name"),
+        ("--git-sha", "only runs saved at this commit"),
+        ("--variant", "only runs whose grid contains this variant"),
+        ("--scheduler", "only runs whose grid contains this scheduler"),
+    ):
+        rls.add_argument(flag, type=str, default=None, help=help_)
+    _add_store(rls, store_help)
+
+    rsh = runs_sub.add_parser(
+        "show", help="show one stored run's provenance and metrics"
+    )
+    rsh.add_argument(
+        "ref", metavar="REF", help="store ref (or unique run name)"
+    )
+    _add_store(rsh, store_help)
+
+    rim = runs_sub.add_parser(
+        "import",
+        help="import filesystem run records into a store (verbatim)",
+    )
+    rim.add_argument(
+        "run_dirs",
+        nargs="+",
+        metavar="RUN_DIR",
+        help="run-record directories to import",
+    )
+    _add_store(rim, store_help)
+
+    rex = runs_sub.add_parser(
+        "export",
+        help="export one stored run as a filesystem run record",
+    )
+    rex.add_argument(
+        "ref", metavar="REF", help="store ref (or unique run name)"
+    )
+    rex.add_argument(
+        "dest", metavar="DEST_DIR", help="directory to write the record at"
+    )
+    _add_store(rex, store_help)
     return parser
 
 
@@ -447,20 +549,52 @@ def _check_scale(args: argparse.Namespace) -> bool:
     return True
 
 
+def _open_store_arg(uri: str) -> RunStore | None:
+    """Open a ``--store`` URI, reporting bad URIs / refused databases
+    on stderr (the caller exits 2 on ``None``)."""
+    try:
+        return open_store(uri)
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+
+
 def _cmd_compare_runs(args: argparse.Namespace) -> int:
     if args.threshold < 0:
         print(
             f"--threshold must be >= 0, got {args.threshold}", file=sys.stderr
         )
         return 2
+    store = None
+    if args.store:
+        store = _open_store_arg(args.store)
+        if store is None:
+            return 2
+    # load each side separately so a bad record names the offending
+    # argument instead of leaving the user to guess which of the two
+    # refs broke
+    sides = []
     try:
-        rows = compare_runs(args.run_a, args.run_b)
-    except (OSError, ValueError) as exc:
+        for label, ref in (("RUN_A", args.run_a), ("RUN_B", args.run_b)):
+            try:
+                sides.append(as_result(ref, store=store))
+            except (OSError, ValueError) as exc:
+                print(f"{label} ({ref}): {exc}", file=sys.stderr)
+                return 2
+            except KeyError as exc:
+                # a parseable run.json missing expected record keys
+                print(
+                    f"{label} ({ref}): malformed run record: missing {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+    finally:
+        if store is not None:
+            store.close()
+    try:
+        rows = compare_runs(sides[0], sides[1])
+    except ValueError as exc:  # e.g. no shared (variant, scheduler) cell
         print(str(exc), file=sys.stderr)
-        return 2
-    except KeyError as exc:
-        # a parseable run.json missing expected record keys
-        print(f"malformed run record: missing {exc}", file=sys.stderr)
         return 2
     print(render_run_diff(
         rows, title=f"Run diff: {args.run_a} vs {args.run_b}"
@@ -504,6 +638,9 @@ def _cmd_compare_runs(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if not _check_scale(args):
         return 2
+    if args.out and args.store:
+        print("--out and --store are mutually exclusive", file=sys.stderr)
+        return 2
     try:
         n_values = [int(x) for x in args.sweep_jobs.split(",") if x.strip()]
     except ValueError:
@@ -544,10 +681,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.out:
         run_dir = save_run(res, args.out, overwrite=True)
         print(f"\nsaved run record to {run_dir}")
+    elif args.store:
+        store = _open_store_arg(args.store)
+        if store is None:
+            return 2
+        with store:
+            stored = store.save(res, name="sweep")
+        print(f"\nsaved run record {stored.ref} to {store.uri}")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.out and args.store:
+        print("--out and --store are mutually exclusive", file=sys.stderr)
+        return 2
     if args.max_workers is not None and args.max_workers < 1:
         print(
             f"--max-workers must be >= 1, got {args.max_workers}",
@@ -617,6 +764,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         run_dir = save_run(res, args.out, name=spec.name, overwrite=True)
         print(f"saved run record to {run_dir}")
+    elif args.store:
+        store = _open_store_arg(args.store)
+        if store is None:
+            return 2
+        with store:
+            stored = store.save(res, name=spec.name)
+        print(f"saved run record {stored.ref} to {store.uri}")
     return 0
 
 
@@ -682,6 +836,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
+    if args.out and args.store:
+        print("--out and --store are mutually exclusive", file=sys.stderr)
+        return 2
     if args.max_workers is not None and args.max_workers < 1:
         print(
             f"--max-workers must be >= 1, got {args.max_workers}",
@@ -731,36 +888,56 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"malformed run record: missing {exc}", file=sys.stderr)
         return 2
-    out = (
-        args.out
-        if args.out
-        else str(Path(args.manifest).parent / "merged")
-    )
     part_dirs = [
         str(manifest.shard_run_dir(args.manifest, i))
         for i in range(manifest.n_shards)
     ]
-    run_dir = save_run(
-        merged,
-        out,
-        name=manifest.spec.name,
-        overwrite=True,
-        merged_from=part_dirs,
-        manifest={
-            "path": str(args.manifest),
-            "spec_sha256": manifest.spec_hash,
-        },
-    )
+    provenance = {
+        "path": str(args.manifest),
+        "spec_sha256": manifest.spec_hash,
+    }
+    if args.store:
+        store = _open_store_arg(args.store)
+        if store is None:
+            return 2
+        with store:
+            stored = store.save(
+                merged,
+                name=manifest.spec.name,
+                merged_from=part_dirs,
+                manifest=provenance,
+            )
+        destination = f"{stored.ref} in {store.uri}"
+    else:
+        out = (
+            args.out
+            if args.out
+            else str(Path(args.manifest).parent / "merged")
+        )
+        destination = str(save_run(
+            merged,
+            out,
+            name=manifest.spec.name,
+            overwrite=True,
+            merged_from=part_dirs,
+            manifest=provenance,
+        ))
     print(
         f"merged {manifest.n_shards} shard record(s): "
         f"{len(merged.variants)} variant(s) x {len(merged.seeds)} seed(s) "
         f"x {len(merged.schedulers())} scheduler(s)"
     )
-    print(f"saved merged run record to {run_dir}")
+    print(f"saved merged run record to {destination}")
     return 0
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
+    if (args.out is None) == (args.store is None):
+        print(
+            "exactly one of --out and --store is required",
+            file=sys.stderr,
+        )
+        return 2
     spec = None
     if args.spec:
         try:
@@ -787,19 +964,33 @@ def _cmd_merge(args: argparse.Namespace) -> int:
                 "partial merge: the record below holds the maximal "
                 "complete sub-grid"
             )
-    run_dir = save_run(
-        merged,
-        args.out,
-        name=args.name if args.name else (spec.name if spec else None),
-        overwrite=True,
-        merged_from=[str(r.path) for r in runs],
-    )
+    name = args.name if args.name else (spec.name if spec else None)
+    merged_from = [str(r.path) for r in runs]
+    if args.store:
+        store = _open_store_arg(args.store)
+        if store is None:
+            return 2
+        with store:
+            stored = store.save(
+                merged,
+                name=name if name else "merged",
+                merged_from=merged_from,
+            )
+        destination = f"{stored.ref} in {store.uri}"
+    else:
+        destination = str(save_run(
+            merged,
+            args.out,
+            name=name,
+            overwrite=True,
+            merged_from=merged_from,
+        ))
     print(
         f"merged {len(runs)} partial record(s): "
         f"{len(merged.variants)} variant(s) x {len(merged.seeds)} seed(s) "
         f"x {len(merged.schedulers())} scheduler(s)"
     )
-    print(f"saved merged run record to {run_dir}")
+    print(f"saved merged run record to {destination}")
     return 0
 
 
@@ -845,6 +1036,80 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     print(render_table(
         ["workload", "description"], rows, title="Registered workloads"
     ))
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    uri = args.store or os.environ.get(STORE_ENV) or "fs:runs"
+    store = _open_store_arg(uri)
+    if store is None:
+        return 2
+    with store:
+        if args.runs_cmd == "list":
+            return _cmd_runs_list(args, store)
+        if args.runs_cmd == "show":
+            return _cmd_runs_show(args, store)
+        if args.runs_cmd == "import":
+            return _cmd_runs_import(args, store)
+        return _cmd_runs_export(args, store)
+
+
+def _cmd_runs_list(args: argparse.Namespace, store: RunStore) -> int:
+    summaries = store.find(
+        name=args.name,
+        git_sha=args.git_sha,
+        variant=args.variant,
+        scheduler=args.scheduler,
+    )
+    for summary in summaries:
+        print(summary)
+    if not summaries:
+        print(f"no runs in {store.uri}")
+    # the fs backend skips (never dies on) unreadable records; say so
+    for path, reason in getattr(store, "skipped", []):
+        print(f"warning: skipped {path}: {reason}", file=sys.stderr)
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace, store: RunStore) -> int:
+    try:
+        stored = store.load(args.ref)
+    except (KeyError, OSError, ValueError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) else str(exc)
+        print(message, file=sys.stderr)
+        return 2
+    print(stored)
+    print(f"name: {stored.name}")
+    print(f"git_sha: {stored.git_sha or '(none)'}")
+    if stored.merged_from is not None:
+        print(f"merged_from: {', '.join(stored.merged_from)}")
+    if stored.manifest is not None:
+        print(f"manifest: {stored.manifest['path']}")
+    print(f"schedulers: {', '.join(stored.result.schedulers())}")
+    print()
+    print(stored.result.render("makespan"))
+    return 0
+
+
+def _cmd_runs_import(args: argparse.Namespace, store: RunStore) -> int:
+    for run_dir in args.run_dirs:
+        try:
+            stored = store.import_fs(run_dir)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"{run_dir}: {exc}", file=sys.stderr)
+            return 2
+        print(f"imported {run_dir} as run {stored.ref} in {store.uri}")
+    return 0
+
+
+def _cmd_runs_export(args: argparse.Namespace, store: RunStore) -> int:
+    try:
+        run_dir = store.export_fs(args.ref, args.dest)
+    except (KeyError, OSError, ValueError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) else str(exc)
+        print(message, file=sys.stderr)
+        return 2
+    print(f"exported run {args.ref} to {run_dir}")
     return 0
 
 
@@ -932,6 +1197,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_emit_spec(args)
     if args.experiment == "registry":
         return _cmd_registry(args)
+    if args.experiment == "runs":
+        return _cmd_runs(args)
     return _cmd_figure(args)
 
 

@@ -99,7 +99,7 @@ from repro.experiments.manifest import (
     save_manifest,
 )
 from repro.experiments.spec import ExperimentSpec, run_spec
-from repro.experiments.store import as_result, load_run, save_run
+from repro.experiments.store import FsRunStore, RunStore, as_result
 from repro.experiments.sweep import SweepResult
 
 __all__ = [
@@ -277,21 +277,28 @@ class _ManifestTracker:
     snapshot and its file; every :meth:`mark` saves atomically, and
     :meth:`record_done` writes the shard's run record *before* the
     ``done`` state, so "done" on disk always implies a loadable record.
+
+    Shard records go through a
+    :class:`~repro.experiments.store.RunStore` rooted at the manifest's
+    directory (each entry's relative ``run_dir`` is the store ref), so
+    dispatch speaks the same persistence interface as every other
+    layer — the manifest's portable relative-path layout is just the fs
+    backend's ref scheme.
     """
 
     def __init__(self, manifest: RunManifest, path: str | Path):
         self.manifest = manifest
         self.path = Path(path)
+        self.store: RunStore = FsRunStore(self.path.parent)
 
     def mark(self, index: int, state: str, *, error: str | None = None):
         self.manifest = self.manifest.with_shard(index, state, error=error)
         save_manifest(self.manifest, self.path)
 
     def record_done(self, index: int, result: SweepResult) -> None:
-        run_dir = self.manifest.shard_run_dir(self.path, index)
-        save_run(
+        self.store.save(
             result,
-            run_dir,
+            ref=self.manifest.shard(index).run_dir,
             name=self.manifest.shard(index).name,
             overwrite=True,
         )
@@ -495,12 +502,12 @@ def _usable_done_results(
     """
     results: dict[int, SweepResult] = {}
     stale: list[int] = []
+    store = FsRunStore(Path(manifest_path).parent)
     for entry in manifest.shards:
         if entry.state != "done":
             continue
-        run_dir = manifest.shard_run_dir(manifest_path, entry.index)
         try:
-            results[entry.index] = load_run(run_dir).result
+            results[entry.index] = store.load(entry.run_dir).result
         except (FileNotFoundError, ValueError, KeyError, TypeError):
             stale.append(entry.index)
     return results, stale

@@ -1,0 +1,93 @@
+"""Pluggable run persistence: one codec, two backends.
+
+This package replaces the single-backend ``store.py`` module with a
+layered store:
+
+* :mod:`~repro.experiments.store.record` — the ``run.json`` codec and
+  the plain-directory registry functions (``save_run`` / ``load_run``
+  / ``list_runs``), byte-compatible with every record written since
+  PR 1.
+* :mod:`~repro.experiments.store.base` — the :class:`RunStore`
+  interface, :class:`RunSummary`, and the ``fs:`` / ``sqlite:``
+  store-URI grammar (:func:`open_store`).
+* :mod:`~repro.experiments.store.fs` /
+  :mod:`~repro.experiments.store.sqlite` — the two backends:
+  the directory registry (now also the import/export codec) and the
+  schema-versioned, WAL-mode SQLite database.
+* :mod:`~repro.experiments.store.compare` — cross-run diffing and the
+  regression gate, backend-agnostic.
+
+Every name the old flat module exported is re-exported here, so
+``from repro.experiments.store import save_run`` keeps working
+unchanged.  See ``docs/STORE.md`` for the backend matrix and
+guarantees.
+"""
+
+from repro.experiments.store.base import (
+    STORE_ENV,
+    RunStore,
+    RunSummary,
+    open_store,
+    parse_store_uri,
+)
+from repro.experiments.store.compare import (
+    GATE_METRICS,
+    as_result,
+    compare_runs,
+    find_regressions,
+)
+from repro.experiments.store.fs import FsRunStore
+from repro.experiments.store.record import (
+    GRID_CSV,
+    RUN_JSON,
+    SCHEMA_VERSION,
+    StoredRun,
+    build_payload,
+    list_runs,
+    load_run,
+    new_run_dir,
+    parse_payload,
+    payload_text,
+    result_from_payload,
+    save_run,
+    save_run_to_registry,
+    stored_run_from_payload,
+    write_grid_csv,
+    write_record_text,
+)
+from repro.experiments.store.sqlite import MIGRATIONS, SqliteRunStore
+
+__all__ = [
+    # interface + URI grammar
+    "STORE_ENV",
+    "RunStore",
+    "RunSummary",
+    "open_store",
+    "parse_store_uri",
+    # backends
+    "FsRunStore",
+    "SqliteRunStore",
+    "MIGRATIONS",
+    # codec + directory registry
+    "SCHEMA_VERSION",
+    "RUN_JSON",
+    "GRID_CSV",
+    "StoredRun",
+    "build_payload",
+    "payload_text",
+    "parse_payload",
+    "result_from_payload",
+    "stored_run_from_payload",
+    "write_record_text",
+    "write_grid_csv",
+    "new_run_dir",
+    "save_run",
+    "save_run_to_registry",
+    "load_run",
+    "list_runs",
+    # comparison + regression gate
+    "GATE_METRICS",
+    "as_result",
+    "compare_runs",
+    "find_regressions",
+]

@@ -1,0 +1,242 @@
+"""The pluggable ``RunStore`` interface and the store-URI grammar.
+
+A *run store* is anywhere run records live.  Two backends implement
+this interface (see ``docs/STORE.md`` for the backend matrix):
+
+* :class:`~repro.experiments.store.fs.FsRunStore` — the original
+  ``runs/<timestamp>-<name>/`` directory registry.  Behaviour- and
+  byte-preserving: records it writes are exactly what
+  :func:`~repro.experiments.store.record.save_run` writes.
+* :class:`~repro.experiments.store.sqlite.SqliteRunStore` — a
+  schema-versioned, WAL-mode SQLite database with indexed metadata
+  columns, so :meth:`RunStore.list` / :meth:`RunStore.find` are SQL
+  queries instead of O(N) full-JSON directory scans.
+
+Both speak the same wire format: the canonical ``run.json`` payload
+text of :mod:`repro.experiments.store.record`.  The filesystem layout
+doubles as the *interchange codec* — :meth:`RunStore.import_fs` /
+:meth:`RunStore.export_fs` move records between any backend and a
+plain directory, and the round trip reproduces ``run.json``
+byte-for-byte (payload text is carried verbatim, never re-serialized;
+``grid.csv`` is regenerated, it is a derived export).
+
+Store URIs
+----------
+``open_store`` names a backend with a compact URI::
+
+    fs:runs            # directory registry rooted at ./runs
+    fs:/data/runs      # absolute roots work too
+    sqlite:runs.db     # SQLite database file
+    runs               # no scheme: fs, for compatibility
+
+The CLI surfaces this as ``--store URI`` (``repro-grid runs list
+--store sqlite:runs.db``; the ``runs`` subcommands default to the
+``REPRO_STORE`` environment variable, then ``fs:runs``).
+
+References
+----------
+Every saved run has a backend-assigned *ref* string
+(:attr:`RunSummary.ref` / ``StoredRun.ref``): the record-directory
+name for fs, the numeric row id for sqlite.  ``load``, ``delete`` and
+``export_fs`` take a ref; for convenience both backends also resolve
+a unique run *name* as a ref.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.store.record import StoredRun
+from repro.experiments.sweep import SweepResult
+
+__all__ = [
+    "STORE_ENV",
+    "RunSummary",
+    "RunStore",
+    "parse_store_uri",
+    "open_store",
+]
+
+#: environment variable naming the default store URI for the CLI's
+#: ``runs`` subcommands (e.g. ``REPRO_STORE=sqlite:runs.db``)
+STORE_ENV = "REPRO_STORE"
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One run's indexed metadata — what ``list``/``find`` return.
+
+    Deliberately payload-free: a summary answers "what runs exist"
+    without deserializing each run's full report grid (the whole point
+    of the SQL backend); follow up with :meth:`RunStore.load` for the
+    reports themselves.
+    """
+
+    ref: str
+    name: str
+    created_at: str
+    git_sha: str | None
+    schema_version: int
+    n_variants: int
+    n_seeds: int
+    n_schedulers: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.ref}: {self.name!r} "
+            f"({self.n_variants} variant(s) x {self.n_seeds} seed(s) x "
+            f"{self.n_schedulers} scheduler(s)), saved {self.created_at}"
+        )
+
+
+class RunStore(ABC):
+    """Abstract run persistence: save/load/list/find/delete plus the
+    fs interchange codec.
+
+    Implementations must uphold two contracts.  *Format*: a record is
+    the canonical payload text of
+    :mod:`repro.experiments.store.record`, carried verbatim —
+    ``import_fs`` followed by ``export_fs`` reproduces ``run.json``
+    byte-for-byte.  *Ordering*: ``list``/``find`` return summaries
+    sorted oldest-first by ``created_at`` (ties broken by ref), so
+    every backend lists the same registry in the same order.
+
+    Stores are context managers; backends with real handles (sqlite)
+    release them in :meth:`close`, the fs backend's is a no-op.
+    """
+
+    #: the URI this store was opened from (``fs:…`` / ``sqlite:…``)
+    uri: str
+
+    # -- persistence --------------------------------------------------
+
+    @abstractmethod
+    def save(
+        self,
+        result: SweepResult,
+        *,
+        name: str | None = None,
+        ref: str | None = None,
+        overwrite: bool = False,
+        merged_from: Sequence[str] | None = None,
+        manifest: dict | None = None,
+    ) -> StoredRun:
+        """Persist one sweep as a new run record; returns it reloaded
+        (so ``.ref`` names the stored record).
+
+        ``name`` labels the record (default: backend-chosen from the
+        ref or ``"sweep"``).  ``ref`` pins the backend reference —
+        e.g. a shard's fixed ``part-<i>`` directory — instead of a
+        backend-assigned one; re-saving a pinned ref requires
+        ``overwrite=True`` (backends that assign refs themselves never
+        collide).  ``merged_from`` / ``manifest`` are the provenance
+        keys of :func:`~repro.experiments.store.record.build_payload`.
+        """
+
+    @abstractmethod
+    def load(self, ref: str) -> StoredRun:
+        """The full record for ``ref`` (or a unique run name).
+
+        Raises ``KeyError`` for an unknown ref, ``ValueError`` for an
+        ambiguous name or an unreadable record.
+        """
+
+    @abstractmethod
+    def delete(self, ref: str) -> None:
+        """Remove one record permanently (``KeyError`` if absent)."""
+
+    # -- queries ------------------------------------------------------
+
+    @abstractmethod
+    def list(self) -> list[RunSummary]:
+        """Every run's summary, oldest first (see the ordering
+        contract above)."""
+
+    @abstractmethod
+    def find(
+        self,
+        *,
+        name: str | None = None,
+        git_sha: str | None = None,
+        variant: str | None = None,
+        scheduler: str | None = None,
+    ) -> list[RunSummary]:
+        """Summaries matching every given filter, oldest first.
+
+        ``name``/``git_sha`` match the run's metadata exactly;
+        ``variant``/``scheduler`` select runs whose report grid
+        contains that axis value.  No filters = :meth:`list`.
+        """
+
+    # -- the fs interchange codec -------------------------------------
+
+    @abstractmethod
+    def import_fs(self, run_dir: str | Path) -> StoredRun:
+        """Ingest a filesystem run record (a ``run.json`` directory)
+        into this store, payload text verbatim; returns the stored
+        run with its new ref."""
+
+    @abstractmethod
+    def export_fs(self, ref: str, dest_dir: str | Path) -> Path:
+        """Materialize one record as a filesystem run directory at
+        ``dest_dir`` (``run.json`` byte-identical to what was
+        imported/saved, ``grid.csv`` regenerated); returns the
+        directory."""
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend handles (no-op where there are none)."""
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def parse_store_uri(uri: str) -> tuple[str, str]:
+    """Split a store URI into ``(backend, path)``.
+
+    ``fs:PATH`` and ``sqlite:PATH`` name the two backends; a bare path
+    (no scheme) is the fs backend, keeping every pre-URI call site
+    valid.  Unknown schemes raise ``ValueError`` — except single
+    letters followed by a path separator, which are treated as paths
+    so nothing resembling a Windows drive is misparsed.
+    """
+    scheme, sep, rest = uri.partition(":")
+    if sep and scheme in ("fs", "sqlite"):
+        if not rest:
+            raise ValueError(
+                f"store URI {uri!r} has no path after the scheme "
+                f"(expected e.g. {scheme}:runs)"
+            )
+        return scheme, rest
+    if sep and len(scheme) > 1:
+        raise ValueError(
+            f"unknown store backend {scheme!r} in {uri!r} "
+            "(supported: fs:PATH, sqlite:PATH, or a bare fs path)"
+        )
+    if not uri:
+        raise ValueError("empty store URI")
+    return "fs", uri
+
+
+def open_store(uri: str) -> RunStore:
+    """Open the backend a store URI names (see :func:`parse_store_uri`).
+
+    ``fs:`` roots may not exist yet (an empty registry); ``sqlite:``
+    databases are created at schema head — and migrated forward when
+    older — on open.
+    """
+    backend, path = parse_store_uri(uri)
+    if backend == "fs":
+        from repro.experiments.store.fs import FsRunStore
+
+        return FsRunStore(path)
+    from repro.experiments.store.sqlite import SqliteRunStore
+
+    return SqliteRunStore(path)

@@ -1,0 +1,154 @@
+"""Cross-run comparison: diff two stored runs cell by cell.
+
+Built purely on the codec (any two records that load can be compared,
+whichever backend they live in): each (variant, scheduler, metric)
+cell is summarised to mean ± Student-t 95 %-CI per side and judged
+``same`` / ``overlap`` / ``diverged``; :func:`find_regressions` turns
+those rows into the ``--fail-on-regression`` gate.
+
+Run arguments accept one more form than before the store layer: with
+a ``store=`` keyword, a string is first resolved as a store ref, so
+``repro-grid compare-runs`` can name runs living in a SQLite store as
+easily as record directories.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.store.base import RunStore
+from repro.experiments.store.record import StoredRun, load_run
+from repro.experiments.sweep import SWEEP_METRICS, SweepResult
+from repro.metrics.compare import RunDiffRow
+
+__all__ = [
+    "GATE_METRICS",
+    "as_result",
+    "compare_runs",
+    "find_regressions",
+]
+
+
+def as_result(run, *, store: RunStore | None = None) -> SweepResult:
+    """Coerce a run argument to its :class:`SweepResult`.
+
+    Accepts an in-memory :class:`SweepResult` (returned as-is), a
+    :class:`StoredRun`, or a run reference — the argument contract
+    shared by :func:`compare_runs` and
+    :func:`repro.experiments.dispatch.merge_runs`.  A reference is a
+    record path (loaded via
+    :func:`~repro.experiments.store.record.load_run`); with ``store``
+    given it is resolved through :meth:`RunStore.load` first, falling
+    back to a plain path only if the store does not know the ref.
+    """
+    if isinstance(run, SweepResult):
+        return run
+    if isinstance(run, StoredRun):
+        return run.result
+    if store is not None:
+        try:
+            return store.load(str(run)).result
+        except KeyError as unknown_ref:
+            # not a ref in this store; try it as a path — but if that
+            # misses too, the store's message ("no run '99' in
+            # sqlite:runs.db") beats a baffling "99/run.json" path
+            try:
+                return load_run(run).result
+            except FileNotFoundError:
+                raise FileNotFoundError(unknown_ref.args[0]) from None
+    return load_run(run).result
+
+
+def compare_runs(
+    run_a,
+    run_b,
+    *,
+    metrics: tuple[str, ...] = SWEEP_METRICS,
+    store: RunStore | None = None,
+) -> list[RunDiffRow]:
+    """Diff two runs per (variant, scheduler, metric) cell.
+
+    ``run_a`` / ``run_b`` may be record paths, store refs (when
+    ``store`` is given), :class:`StoredRun` or in-memory
+    :class:`SweepResult` objects.  Cells present in both runs are
+    compared (in run A's order): each side is summarised to mean ±
+    Student-t 95 %-CI across its seeds, and the verdict is
+
+    * ``"same"``      — identical per-seed values;
+    * ``"overlap"``   — the two CIs overlap (shift within noise);
+    * ``"diverged"``  — disjoint CIs, a statistically visible shift.
+
+    Raises if the runs share no (variant, scheduler) cell at all.
+    """
+    a = as_result(run_a, store=store)
+    b = as_result(run_b, store=store)
+    rows: list[RunDiffRow] = []
+    for variant in a.variants:
+        if variant.name not in b.reports:
+            continue
+        for sched in a.schedulers():
+            if sched not in b.reports[variant.name]:
+                continue
+            for metric in metrics:
+                sa = a.summary(variant.name, sched, metric)
+                sb = b.summary(variant.name, sched, metric)
+                if sa.values == sb.values:
+                    verdict = "same"
+                elif abs(sb.mean - sa.mean) <= sa.ci95 + sb.ci95:
+                    verdict = "overlap"
+                else:
+                    verdict = "diverged"
+                rows.append(
+                    RunDiffRow(
+                        variant=variant.name,
+                        scheduler=sched,
+                        metric=metric,
+                        mean_a=sa.mean,
+                        ci_a=sa.ci95,
+                        n_a=sa.n,
+                        mean_b=sb.mean,
+                        ci_b=sb.ci95,
+                        n_b=sb.n,
+                        verdict=verdict,
+                    )
+                )
+    if not rows:
+        raise ValueError(
+            "the two runs share no (variant, scheduler) cell to compare"
+        )
+    return rows
+
+
+#: metrics the regression gate judges — every sweep metric where a
+#: larger value is unambiguously worse.  N_risk is deliberately
+#: excluded: more risk-taking is the paper's *expected* behaviour for
+#: the risky modes, not a quality regression.
+GATE_METRICS = ("makespan", "avg_response_time", "slowdown_ratio", "n_fail")
+
+
+def find_regressions(
+    rows,
+    *,
+    threshold_pct: float = 5.0,
+    metrics: tuple[str, ...] = GATE_METRICS,
+) -> list[RunDiffRow]:
+    """Cells where run B is statistically, materially worse than A.
+
+    A cell regresses when all three hold: the metric is one the gate
+    judges (larger = worse), the CIs are disjoint (verdict
+    ``"diverged"`` — the shift is outside replication noise), and the
+    mean rose by more than ``threshold_pct`` percent of the baseline
+    (any rise counts when the baseline mean is 0, e.g. N_fail going
+    0 -> 5).  Used by ``repro-grid compare-runs --fail-on-regression``.
+    """
+    if threshold_pct < 0:
+        raise ValueError(
+            f"threshold_pct must be >= 0, got {threshold_pct}"
+        )
+    out = []
+    for r in rows:
+        if r.metric not in metrics or r.verdict != "diverged":
+            continue
+        if r.mean_b <= r.mean_a:
+            continue  # improved or unchanged
+        if r.mean_a == 0 or r.shift_pct > threshold_pct:
+            out.append(r)
+    return out

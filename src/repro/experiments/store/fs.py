@@ -1,0 +1,226 @@
+"""``FsRunStore``: the directory registry behind the ``RunStore``
+interface.
+
+This is the original PR 1–5 on-disk format, unchanged byte for byte —
+``runs/<timestamp>-<name>/`` directories holding ``run.json`` +
+``grid.csv``, written by the codec functions of
+:mod:`repro.experiments.store.record`.  The class adds nothing to the
+format; it only adapts it to the interface so every call site (CLI,
+dispatch, compare) can treat "a directory of runs" and "a SQLite
+database of runs" interchangeably.  Refs are record-directory names
+relative to the root (``20260728T093102Z-baseline``), and existing
+registries written before the interface existed load as-is.
+"""
+
+from __future__ import annotations
+
+import shutil
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.experiments.store.base import RunStore, RunSummary
+from repro.experiments.store.record import (
+    RUN_JSON,
+    StoredRun,
+    load_run,
+    new_run_dir,
+    parse_payload,
+    result_from_payload,
+    save_run,
+    write_record_text,
+)
+from repro.experiments.sweep import SweepResult
+
+__all__ = ["FsRunStore"]
+
+
+class FsRunStore(RunStore):
+    """Run store over a plain directory of run records.
+
+    The root need not exist (that is an empty registry, as with
+    :func:`~repro.experiments.store.record.list_runs`); it is created
+    on first save.  ``list``/``find`` are O(N full-JSON-parses)
+    directory scans by construction — the SQL backend exists because
+    of exactly that — and share ``list_runs``'s skip-and-report
+    policy: a corrupt child record is skipped (collected in
+    :attr:`skipped`, refreshed per scan), never fatal.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.uri = f"fs:{self.root}"
+        #: ``(path, reason)`` casualties of the most recent scan
+        self.skipped: list[tuple[Path, str]] = []
+
+    def __repr__(self) -> str:
+        return f"FsRunStore({str(self.root)!r})"
+
+    # -- ref resolution -----------------------------------------------
+
+    def _run_dir(self, ref: str) -> Path:
+        """The record directory a ref names.
+
+        A ref is a directory name under the root; a unique run *name*
+        is accepted too (resolved by scanning), and a path that is
+        itself a record directory passes through, so store-addressed
+        and path-addressed call sites can share refs.
+        """
+        direct = self.root / ref
+        if (direct / RUN_JSON).is_file():
+            return direct
+        as_path = Path(ref)
+        # only a ref that *looks* like a path (has directory parts)
+        # may resolve outside the root — a bare ref such as "part-1"
+        # must never silently pick up a same-named CWD directory
+        if as_path.parent != Path(".") and (as_path / RUN_JSON).is_file():
+            return as_path
+        matches = [s for s in self.list() if s.name == ref]
+        if len(matches) > 1:
+            raise ValueError(
+                f"run name {ref!r} is ambiguous in {self.uri}: "
+                f"{[m.ref for m in matches]} all carry it; use a ref"
+            )
+        if matches:
+            return self.root / matches[0].ref
+        raise KeyError(f"no run {ref!r} in {self.uri}")
+
+    # -- persistence --------------------------------------------------
+
+    def save(
+        self,
+        result: SweepResult,
+        *,
+        name: str | None = None,
+        ref: str | None = None,
+        overwrite: bool = False,
+        merged_from: Sequence[str] | None = None,
+        manifest: dict | None = None,
+    ) -> StoredRun:
+        if ref is not None:
+            run_dir = self.root / ref
+        else:
+            # timestamped dir, uniquified: seconds resolution means
+            # back-to-back saves of one name can land on one path
+            run_dir = new_run_dir(self.root, name or "sweep")
+            candidate, counter = run_dir, 2
+            while (candidate / RUN_JSON).exists():
+                candidate = run_dir.with_name(f"{run_dir.name}-{counter}")
+                counter += 1
+            run_dir = candidate
+        save_run(
+            result,
+            run_dir,
+            name=name,
+            overwrite=overwrite or ref is None,
+            merged_from=merged_from,
+            manifest=manifest,
+        )
+        return self.load(run_dir.name)
+
+    def load(self, ref: str) -> StoredRun:
+        run_dir = self._run_dir(ref)
+        stored = load_run(run_dir)
+        return StoredRun(
+            **{**stored.__dict__, "ref": run_dir.name}
+        )
+
+    def delete(self, ref: str) -> None:
+        run_dir = self._run_dir(ref)
+        # _run_dir only resolves directories holding a run.json, so
+        # this can never rmtree an arbitrary directory
+        shutil.rmtree(run_dir)
+
+    # -- queries ------------------------------------------------------
+
+    def list(self) -> list[RunSummary]:
+        self.skipped = []
+        if not self.root.is_dir():
+            return []
+        out = []
+        for child in sorted(self.root.iterdir()):
+            record = child / RUN_JSON
+            if not record.is_file():
+                continue
+            try:
+                payload = parse_payload(
+                    record.read_text(encoding="utf-8"), source=str(record)
+                )
+                out.append(_summary(child.name, payload))
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                self.skipped.append((child, str(exc)))
+        return sorted(out, key=lambda s: (s.created_at, s.ref))
+
+    def find(
+        self,
+        *,
+        name: str | None = None,
+        git_sha: str | None = None,
+        variant: str | None = None,
+        scheduler: str | None = None,
+    ) -> list[RunSummary]:
+        out = []
+        for summary in self.list():
+            if name is not None and summary.name != name:
+                continue
+            if git_sha is not None and summary.git_sha != git_sha:
+                continue
+            if variant is not None or scheduler is not None:
+                # axis filters need the payload's report grid — the
+                # full-parse cost the SQL backend's cell index avoids
+                record = self.root / summary.ref / RUN_JSON
+                payload = parse_payload(
+                    record.read_text(encoding="utf-8"), source=str(record)
+                )
+                reports = payload["reports"]
+                if variant is not None and variant not in reports:
+                    continue
+                if scheduler is not None and not any(
+                    scheduler in per_sched for per_sched in reports.values()
+                ):
+                    continue
+            out.append(summary)
+        return out
+
+    # -- the fs interchange codec -------------------------------------
+
+    def import_fs(self, run_dir: str | Path) -> StoredRun:
+        run_dir = Path(run_dir)
+        record = run_dir / RUN_JSON
+        if not record.is_file():
+            raise FileNotFoundError(f"no run record at {record}")
+        text = record.read_text(encoding="utf-8")
+        parse_payload(text, source=str(record))  # validate before copying
+        dest = self.root / run_dir.name
+        counter = 2
+        while (dest / RUN_JSON).exists():
+            dest = self.root / f"{run_dir.name}-{counter}"
+            counter += 1
+        dest.mkdir(parents=True, exist_ok=True)
+        (dest / RUN_JSON).write_text(text, encoding="utf-8")
+        grid = run_dir / "grid.csv"
+        if grid.is_file():
+            shutil.copyfile(grid, dest / "grid.csv")
+        return self.load(dest.name)
+
+    def export_fs(self, ref: str, dest_dir: str | Path) -> Path:
+        record = self._run_dir(ref) / RUN_JSON
+        text = record.read_text(encoding="utf-8")
+        payload = parse_payload(text, source=str(record))
+        return write_record_text(
+            text, result_from_payload(payload), dest_dir
+        )
+
+
+def _summary(ref: str, payload: dict) -> RunSummary:
+    reports = payload["reports"]
+    first = next(iter(reports.values()), {})
+    return RunSummary(
+        ref=ref,
+        name=payload["name"],
+        created_at=payload["created_at"],
+        git_sha=payload.get("git_sha"),
+        schema_version=payload["schema_version"],
+        n_variants=len(payload["variants"]),
+        n_seeds=len(payload["seeds"]),
+        n_schedulers=len(first),
+    )

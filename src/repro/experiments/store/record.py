@@ -1,12 +1,14 @@
-"""Run store: persist sweep results for cross-run comparison.
+"""The run-record codec: one run as a versioned ``run.json`` directory.
 
-Every :class:`~repro.experiments.sweep.SweepResult` used to die at
-process exit, so perf/quality regressions between code revisions were
-invisible.  This module serializes a sweep to a versioned on-disk run
-record, reloads it losslessly, and diffs two stored runs per
-(variant, scheduler, metric) cell with mean-shift and CI-overlap
-verdicts — the same experiment-store + report-generator loop benchmark
-harnesses like FuzzBench close.
+This module owns the *format* — how a
+:class:`~repro.experiments.sweep.SweepResult` becomes a ``run.json``
+payload and comes back bit-identically — and the plain-directory
+registry functions built directly on it (:func:`save_run`,
+:func:`load_run`, :func:`list_runs`).  Backends build on the same
+codec: :class:`~repro.experiments.store.fs.FsRunStore` wraps these
+functions, and :class:`~repro.experiments.store.sqlite.SqliteRunStore`
+stores the exact payload text this module produces, so every backend
+speaks one format (see :mod:`repro.experiments.store.base`).
 
 Registry layout
 ---------------
@@ -89,26 +91,28 @@ from pathlib import Path
 
 from repro.experiments.config import RunSettings
 from repro.experiments.sweep import (
-    SWEEP_METRICS,
     ScenarioVariant,
     SweepResult,
 )
-from repro.metrics.compare import RunDiffRow
 from repro.metrics.report import PerformanceReport
 
 __all__ = [
     "SCHEMA_VERSION",
     "RUN_JSON",
-    "GATE_METRICS",
+    "GRID_CSV",
     "StoredRun",
+    "build_payload",
+    "payload_text",
+    "parse_payload",
+    "result_from_payload",
+    "stored_run_from_payload",
+    "write_record_text",
+    "write_grid_csv",
     "new_run_dir",
     "save_run",
     "save_run_to_registry",
     "load_run",
     "list_runs",
-    "as_result",
-    "compare_runs",
-    "find_regressions",
 ]
 
 SCHEMA_VERSION = 1
@@ -144,10 +148,16 @@ class StoredRun:
     #: resume``): ``{"path": ..., "spec_sha256": ...}`` naming the
     #: manifest the record was merged from; None otherwise
     manifest: dict | None = None
+    #: the reference a :class:`~repro.experiments.store.base.RunStore`
+    #: resolves this run by (a record-directory name for the fs
+    #: backend, a numeric row id for sqlite); None when the run was
+    #: loaded directly from a path rather than through a store
+    ref: str | None = None
 
     def __str__(self) -> str:
+        label = self.ref if self.ref is not None else self.path.name
         return (
-            f"{self.path.name}: {len(self.result.variants)} variant(s) x "
+            f"{label}: {len(self.result.variants)} variant(s) x "
             f"{len(self.result.seeds)} seed(s), saved {self.created_at}"
         )
 
@@ -181,6 +191,134 @@ def new_run_dir(root: str | Path, name: str = "sweep") -> Path:
     return Path(root) / f"{stamp}-{name}"
 
 
+def build_payload(
+    result: SweepResult,
+    *,
+    name: str,
+    merged_from: Sequence[str] | None = None,
+    manifest: dict | None = None,
+) -> dict:
+    """The ``run.json`` payload for one sweep (see the schema above).
+
+    Stamps ``created_at`` and ``git_sha`` at call time; the optional
+    provenance keys are added only when given, so directly-saved
+    payloads stay byte-compatible with pre-provenance records.  Every
+    backend funnels through here — this function *is* the write half
+    of the format.
+    """
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "created_at": datetime.now(timezone.utc).isoformat(),
+        "git_sha": _git_sha(),
+        "elapsed_seconds": result.elapsed_seconds,
+        "scale": result.scale,
+        "seeds": list(result.seeds),
+        "settings": _settings_to_dict(result.settings),
+        "variants": [asdict(v) for v in result.variants],
+        "reports": {
+            vname: {
+                sched: [rep.to_dict() for rep in reps]
+                for sched, reps in per_sched.items()
+            }
+            for vname, per_sched in result.reports.items()
+        },
+    }
+    if merged_from is not None:
+        payload["merged_from"] = [str(p) for p in merged_from]
+    if manifest is not None:
+        unknown = sorted(set(manifest) - {"path", "spec_sha256"})
+        if unknown:
+            raise ValueError(
+                f"manifest provenance allows keys path/spec_sha256, "
+                f"got extra {unknown}"
+            )
+        payload["manifest"] = {k: str(v) for k, v in manifest.items()}
+    return payload
+
+
+def payload_text(payload: dict) -> str:
+    """The canonical serialized form of a ``run.json`` payload.
+
+    One fixed rendering (``indent=1`` + trailing newline) shared by
+    every writer, so a record produced by any backend is byte-identical
+    to one produced by :func:`save_run` from the same payload.
+    """
+    return json.dumps(payload, indent=1) + "\n"
+
+
+def parse_payload(text: str, *, source: str = "run record") -> dict:
+    """Parse and version-check serialized ``run.json`` text.
+
+    Raises ``ValueError`` for anything that is not a supported-schema
+    run payload: invalid JSON, a non-object document, an unsupported
+    ``schema_version``.  Key order is preserved, so re-serializing the
+    returned dict with :func:`payload_text` round-trips the bytes of
+    any record this codec wrote.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{source}: corrupted or truncated run record "
+            f"(not valid JSON: {exc})"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{source}: not a run record (top level is "
+            f"{type(payload).__name__}, expected an object)"
+        )
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{source}: unsupported schema_version {version!r} "
+            f"(this reader supports {SCHEMA_VERSION})"
+        )
+    return payload
+
+
+def result_from_payload(payload: dict) -> SweepResult:
+    """Rebuild the :class:`SweepResult` a payload records (the read
+    half of the format; bit-identical to the sweep that was saved)."""
+    return SweepResult(
+        variants=tuple(
+            ScenarioVariant(**v) for v in payload["variants"]
+        ),
+        seeds=tuple(int(s) for s in payload["seeds"]),
+        reports={
+            vname: {
+                sched: tuple(
+                    PerformanceReport.from_dict(d) for d in reps
+                )
+                for sched, reps in per_sched.items()
+            }
+            for vname, per_sched in payload["reports"].items()
+        },
+        settings=_settings_from_dict(payload.get("settings")),
+        scale=payload.get("scale", 1.0),
+        elapsed_seconds=payload.get("elapsed_seconds"),
+    )
+
+
+def stored_run_from_payload(
+    payload: dict, *, path: Path, ref: str | None = None
+) -> StoredRun:
+    """Wrap a parsed payload as a :class:`StoredRun` (provenance
+    fields surfaced, ``None`` where the optional keys are absent)."""
+    merged_from = payload.get("merged_from")
+    return StoredRun(
+        path=path,
+        name=payload["name"],
+        created_at=payload["created_at"],
+        git_sha=payload.get("git_sha"),
+        schema_version=payload["schema_version"],
+        result=result_from_payload(payload),
+        merged_from=tuple(merged_from) if merged_from is not None else None,
+        manifest=payload.get("manifest"),
+        ref=ref,
+    )
+
+
 def save_run(
     result: SweepResult,
     run_dir: str | Path,
@@ -207,50 +345,41 @@ def save_run(
         raise FileExistsError(
             f"{record} already holds a run record (pass overwrite=True)"
         )
-    run_dir.mkdir(parents=True, exist_ok=True)
-
-    payload = {
-        "schema_version": SCHEMA_VERSION,
-        "name": name if name is not None else run_dir.name,
-        "created_at": datetime.now(timezone.utc).isoformat(),
-        "git_sha": _git_sha(),
-        "elapsed_seconds": result.elapsed_seconds,
-        "scale": result.scale,
-        "seeds": list(result.seeds),
-        "settings": _settings_to_dict(result.settings),
-        "variants": [asdict(v) for v in result.variants],
-        "reports": {
-            vname: {
-                sched: [rep.to_dict() for rep in reps]
-                for sched, reps in per_sched.items()
-            }
-            for vname, per_sched in result.reports.items()
-        },
-    }
-    if merged_from is not None:
-        payload["merged_from"] = [str(p) for p in merged_from]
-    if manifest is not None:
-        unknown = sorted(set(manifest) - {"path", "spec_sha256"})
-        if unknown:
-            raise ValueError(
-                f"manifest provenance allows keys path/spec_sha256, "
-                f"got extra {unknown}"
-            )
-        payload["manifest"] = {k: str(v) for k, v in manifest.items()}
-    # temp file + atomic rename: a crash mid-save must never leave a
-    # truncated run.json behind a shard marked "done" (resume treats
-    # an unreadable record as work owed, but a clean snapshot is
-    # better than a redo)
-    tmp = record.with_name(record.name + ".tmp")
-    with tmp.open("w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1)
-        fh.write("\n")
-    tmp.replace(record)
-    _write_grid_csv(result, run_dir / GRID_CSV)
+    payload = build_payload(
+        result,
+        name=name if name is not None else run_dir.name,
+        merged_from=merged_from,
+        manifest=manifest,
+    )
+    write_record_text(payload_text(payload), result, run_dir)
     return run_dir
 
 
-def _write_grid_csv(result: SweepResult, path: Path) -> None:
+def write_record_text(
+    text: str, result: SweepResult, run_dir: str | Path
+) -> Path:
+    """Write serialized ``run.json`` text (verbatim) plus a fresh
+    ``grid.csv`` at ``run_dir`` — the export half every backend shares.
+
+    The text lands byte-for-byte as given; ``grid.csv`` is regenerated
+    from ``result`` (it is a derived convenience export, never parsed
+    back).  The directory is created, and the record write goes
+    through a temp file + atomic rename: a crash mid-save must never
+    leave a truncated ``run.json`` behind a shard marked "done"
+    (resume treats an unreadable record as work owed, but a clean
+    snapshot is better than a redo).
+    """
+    run_dir = Path(run_dir)
+    record = run_dir / RUN_JSON
+    run_dir.mkdir(parents=True, exist_ok=True)
+    tmp = record.with_name(record.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    tmp.replace(record)
+    write_grid_csv(result, run_dir / GRID_CSV)
+    return run_dir
+
+
+def write_grid_csv(result: SweepResult, path: Path) -> None:
     """Flat per-seed export: one row per (variant, scheduler, seed)."""
     with path.open("w", encoding="utf-8", newline="") as fh:
         writer = csv.writer(fh)
@@ -293,179 +422,48 @@ def load_run(run_dir: str | Path) -> StoredRun:
     """Reload a run record; the sweep round-trips bit-identically.
 
     Only ``run.json`` is read (``grid.csv`` is a convenience export,
-    never parsed back).  Unsupported ``schema_version`` values raise
-    ``ValueError``; a missing record raises ``FileNotFoundError``.
-    Merge provenance (the optional ``merged_from`` and ``manifest``
-    keys) surfaces as :attr:`StoredRun.merged_from` /
-    :attr:`StoredRun.manifest`, ``None`` for directly-saved runs.
+    never parsed back).  Unsupported ``schema_version`` values and
+    corrupt payloads raise ``ValueError``; a missing record raises
+    ``FileNotFoundError``.  Merge provenance (the optional
+    ``merged_from`` and ``manifest`` keys) surfaces as
+    :attr:`StoredRun.merged_from` / :attr:`StoredRun.manifest`,
+    ``None`` for directly-saved runs.
     """
     run_dir = Path(run_dir)
     record = run_dir / RUN_JSON
     if not record.is_file():
         raise FileNotFoundError(f"no run record at {record}")
-    with record.open("r", encoding="utf-8") as fh:
-        payload = json.load(fh)
-    version = payload.get("schema_version")
-    if version != SCHEMA_VERSION:
-        raise ValueError(
-            f"{record}: unsupported schema_version {version!r} "
-            f"(this reader supports {SCHEMA_VERSION})"
-        )
-    result = SweepResult(
-        variants=tuple(
-            ScenarioVariant(**v) for v in payload["variants"]
-        ),
-        seeds=tuple(int(s) for s in payload["seeds"]),
-        reports={
-            vname: {
-                sched: tuple(
-                    PerformanceReport.from_dict(d) for d in reps
-                )
-                for sched, reps in per_sched.items()
-            }
-            for vname, per_sched in payload["reports"].items()
-        },
-        settings=_settings_from_dict(payload.get("settings")),
-        scale=payload.get("scale", 1.0),
-        elapsed_seconds=payload.get("elapsed_seconds"),
+    payload = parse_payload(
+        record.read_text(encoding="utf-8"), source=str(record)
     )
-    merged_from = payload.get("merged_from")
-    return StoredRun(
-        path=run_dir,
-        name=payload["name"],
-        created_at=payload["created_at"],
-        git_sha=payload.get("git_sha"),
-        schema_version=version,
-        result=result,
-        merged_from=tuple(merged_from) if merged_from is not None else None,
-        manifest=payload.get("manifest"),
-    )
+    return stored_run_from_payload(payload, path=run_dir)
 
 
-def list_runs(root: str | Path = "runs") -> list[StoredRun]:
-    """All run records directly under ``root``, oldest first.
+def list_runs(
+    root: str | Path = "runs", *, skipped: list | None = None
+) -> list[StoredRun]:
+    """All loadable run records directly under ``root``, oldest first.
 
     Sorted by recorded ``created_at`` (directory names from
     :func:`new_run_dir` agree with that order).  A missing registry
     directory is an empty registry, not an error.
+
+    A child directory whose ``run.json`` is corrupt, truncated, or of
+    an unsupported schema is *skipped*, never fatal — one bad record
+    must not make the whole registry unlistable.  Pass a list as
+    ``skipped`` to collect the casualties: one ``(path, reason)``
+    tuple per skipped record, in scan order.
     """
     root = Path(root)
     if not root.is_dir():
         return []
-    runs = [
-        load_run(child)
-        for child in sorted(root.iterdir())
-        if (child / RUN_JSON).is_file()
-    ]
+    runs = []
+    for child in sorted(root.iterdir()):
+        if not (child / RUN_JSON).is_file():
+            continue
+        try:
+            runs.append(load_run(child))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            if skipped is not None:
+                skipped.append((child, str(exc)))
     return sorted(runs, key=lambda run: run.created_at)
-
-
-def as_result(run) -> SweepResult:
-    """Coerce a run argument to its :class:`SweepResult`.
-
-    Accepts an in-memory :class:`SweepResult` (returned as-is), a
-    :class:`StoredRun`, or a run-record path (loaded via
-    :func:`load_run`) — the argument contract shared by
-    :func:`compare_runs` and
-    :func:`repro.experiments.dispatch.merge_runs`.
-    """
-    if isinstance(run, SweepResult):
-        return run
-    if isinstance(run, StoredRun):
-        return run.result
-    return load_run(run).result
-
-
-def compare_runs(
-    run_a,
-    run_b,
-    *,
-    metrics: tuple[str, ...] = SWEEP_METRICS,
-) -> list[RunDiffRow]:
-    """Diff two runs per (variant, scheduler, metric) cell.
-
-    ``run_a`` / ``run_b`` may be record paths, :class:`StoredRun` or
-    in-memory :class:`SweepResult` objects.  Cells present in both
-    runs are compared (in run A's order): each side is summarised to
-    mean ± Student-t 95 %-CI across its seeds, and the verdict is
-
-    * ``"same"``      — identical per-seed values;
-    * ``"overlap"``   — the two CIs overlap (shift within noise);
-    * ``"diverged"``  — disjoint CIs, a statistically visible shift.
-
-    Raises if the runs share no (variant, scheduler) cell at all.
-    """
-    a = as_result(run_a)
-    b = as_result(run_b)
-    rows: list[RunDiffRow] = []
-    for variant in a.variants:
-        if variant.name not in b.reports:
-            continue
-        for sched in a.schedulers():
-            if sched not in b.reports[variant.name]:
-                continue
-            for metric in metrics:
-                sa = a.summary(variant.name, sched, metric)
-                sb = b.summary(variant.name, sched, metric)
-                if sa.values == sb.values:
-                    verdict = "same"
-                elif abs(sb.mean - sa.mean) <= sa.ci95 + sb.ci95:
-                    verdict = "overlap"
-                else:
-                    verdict = "diverged"
-                rows.append(
-                    RunDiffRow(
-                        variant=variant.name,
-                        scheduler=sched,
-                        metric=metric,
-                        mean_a=sa.mean,
-                        ci_a=sa.ci95,
-                        n_a=sa.n,
-                        mean_b=sb.mean,
-                        ci_b=sb.ci95,
-                        n_b=sb.n,
-                        verdict=verdict,
-                    )
-                )
-    if not rows:
-        raise ValueError(
-            "the two runs share no (variant, scheduler) cell to compare"
-        )
-    return rows
-
-
-#: metrics the regression gate judges — every sweep metric where a
-#: larger value is unambiguously worse.  N_risk is deliberately
-#: excluded: more risk-taking is the paper's *expected* behaviour for
-#: the risky modes, not a quality regression.
-GATE_METRICS = ("makespan", "avg_response_time", "slowdown_ratio", "n_fail")
-
-
-def find_regressions(
-    rows,
-    *,
-    threshold_pct: float = 5.0,
-    metrics: tuple[str, ...] = GATE_METRICS,
-) -> list[RunDiffRow]:
-    """Cells where run B is statistically, materially worse than A.
-
-    A cell regresses when all three hold: the metric is one the gate
-    judges (larger = worse), the CIs are disjoint (verdict
-    ``"diverged"`` — the shift is outside replication noise), and the
-    mean rose by more than ``threshold_pct`` percent of the baseline
-    (any rise counts when the baseline mean is 0, e.g. N_fail going
-    0 -> 5).  Used by ``repro-grid compare-runs --fail-on-regression``.
-    """
-    if threshold_pct < 0:
-        raise ValueError(
-            f"threshold_pct must be >= 0, got {threshold_pct}"
-        )
-    out = []
-    for r in rows:
-        if r.metric not in metrics or r.verdict != "diverged":
-            continue
-        if r.mean_b <= r.mean_a:
-            continue  # improved or unchanged
-        if r.mean_a == 0 or r.shift_pct > threshold_pct:
-            out.append(r)
-    return out

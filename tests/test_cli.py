@@ -681,3 +681,166 @@ class TestManifestCLI:
         from repro.experiments.store import load_run
 
         assert load_run(tmp_path / "m").result.seeds == (11,)
+
+
+class TestRunsStore:
+    """The runs subcommand family and --store threading."""
+
+    def _micro_sweep(self, capsys, dest: list[str]) -> None:
+        assert main([
+            "sweep", "--scale", "0.002",
+            "--sweep-seeds", "2",
+            "--sweep-jobs", "100",
+            "--max-workers", "1",
+            *dest,
+        ]) == 0
+        capsys.readouterr()
+
+    def test_sweep_store_then_runs_list_show(self, capsys, tmp_path):
+        uri = f"sqlite:{tmp_path / 'runs.db'}"
+        self._micro_sweep(capsys, ["--store", uri])
+        assert main(["runs", "list", "--store", uri]) == 0
+        out = capsys.readouterr().out
+        assert "'sweep'" in out
+        assert "1 variant(s) x 2 seed(s)" in out
+        assert main(["runs", "show", "1", "--store", uri]) == 0
+        out = capsys.readouterr().out
+        assert "name: sweep" in out
+        assert "Sweep: makespan" in out
+
+    def test_import_export_round_trip_bit_identical(self, capsys, tmp_path):
+        src = tmp_path / "src"
+        self._micro_sweep(capsys, ["--out", str(src)])
+        uri = f"sqlite:{tmp_path / 'runs.db'}"
+        assert main(["runs", "import", str(src), "--store", uri]) == 0
+        assert "imported" in capsys.readouterr().out
+        out_dir = tmp_path / "roundtrip"
+        assert main(["runs", "export", "1", str(out_dir), "--store", uri]) == 0
+        capsys.readouterr()
+        assert (
+            (out_dir / "run.json").read_bytes()
+            == (src / "run.json").read_bytes()
+        )
+        # and the round-tripped record gates clean against the original
+        assert main([
+            "compare-runs", str(src), str(out_dir),
+            "--fail-on-regression", "--threshold", "0",
+        ]) == 0
+        assert "0 diverged" in capsys.readouterr().out
+
+    def test_repro_store_env_is_the_runs_default(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        uri = f"sqlite:{tmp_path / 'runs.db'}"
+        monkeypatch.setenv("REPRO_STORE", uri)
+        assert main(["runs", "list"]) == 0
+        assert f"no runs in {uri}" in capsys.readouterr().out
+
+    def test_runs_list_empty_fs_store(self, capsys, tmp_path):
+        uri = f"fs:{tmp_path / 'registry'}"
+        assert main(["runs", "list", "--store", uri]) == 0
+        assert "no runs" in capsys.readouterr().out
+
+    def test_runs_list_warns_about_skipped_records(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        src = tmp_path / "src"
+        self._micro_sweep(capsys, ["--out", str(src)])
+        uri = f"fs:{registry}"
+        assert main(["runs", "import", str(src), "--store", uri]) == 0
+        bad = registry / "bad"
+        bad.mkdir()
+        (bad / "run.json").write_text("{truncated")
+        capsys.readouterr()
+        assert main(["runs", "list", "--store", uri]) == 0
+        captured = capsys.readouterr()
+        assert "src" in captured.out  # the good record still lists
+        assert "skipped" in captured.err
+        assert "bad" in captured.err
+
+    def test_runs_show_unknown_ref_exit_2(self, capsys, tmp_path):
+        uri = f"sqlite:{tmp_path / 'runs.db'}"
+        assert main(["runs", "show", "42", "--store", uri]) == 2
+        assert "no run '42'" in capsys.readouterr().err
+
+    def test_runs_import_missing_dir_exit_2(self, capsys, tmp_path):
+        uri = f"sqlite:{tmp_path / 'runs.db'}"
+        assert main([
+            "runs", "import", str(tmp_path / "nope"), "--store", uri,
+        ]) == 2
+        assert "no run record" in capsys.readouterr().err
+
+    def test_bad_store_uri_exit_2(self, capsys, tmp_path):
+        assert main(["runs", "list", "--store", "bogus:x"]) == 2
+        assert "unknown store backend" in capsys.readouterr().err
+
+    def test_future_db_version_refused_exit_2(self, capsys, tmp_path):
+        import sqlite3
+
+        db = tmp_path / "future.db"
+        conn = sqlite3.connect(db)
+        conn.execute("PRAGMA user_version=99")
+        conn.commit()
+        conn.close()
+        assert main(["runs", "list", "--store", f"sqlite:{db}"]) == 2
+        assert "newer tool" in capsys.readouterr().err
+
+    def test_out_and_store_mutually_exclusive(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--out", str(tmp_path / "d"),
+            "--store", f"sqlite:{tmp_path / 'r.db'}",
+        ]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_merge_requires_exactly_one_destination(self, capsys, tmp_path):
+        assert main(["merge", str(tmp_path / "p0")]) == 2
+        assert "exactly one of --out and --store" in capsys.readouterr().err
+        assert main([
+            "merge", str(tmp_path / "p0"),
+            "--out", str(tmp_path / "m"),
+            "--store", f"sqlite:{tmp_path / 'r.db'}",
+        ]) == 2
+        assert "exactly one of --out and --store" in capsys.readouterr().err
+
+    def test_compare_runs_error_names_the_bad_argument(
+        self, capsys, tmp_path
+    ):
+        good = tmp_path / "good"
+        self._micro_sweep(capsys, ["--out", str(good)])
+        missing = tmp_path / "nope"
+        assert main(["compare-runs", str(good), str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "RUN_B" in err and str(missing) in err
+        assert "RUN_A" not in err
+        assert main(["compare-runs", str(missing), str(good)]) == 2
+        err = capsys.readouterr().err
+        assert "RUN_A" in err and "RUN_B" not in err
+
+    def test_compare_runs_by_store_refs(self, capsys, tmp_path):
+        uri = f"sqlite:{tmp_path / 'runs.db'}"
+        self._micro_sweep(capsys, ["--store", uri])
+        self._micro_sweep(capsys, ["--store", uri])
+        assert main(["compare-runs", "1", "2", "--store", uri]) == 0
+        assert "0 diverged" in capsys.readouterr().out
+
+    def test_merge_to_store(self, capsys, tmp_path):
+        spec_file = str(tmp_path / "spec.json")
+        assert main([
+            "emit-spec", "fig7a", "--scale", "0.002", "--spec-seeds", "2",
+            "--out", spec_file,
+        ]) == 0
+        for i in range(2):
+            assert main([
+                "run", spec_file, "--max-workers", "1",
+                "--shard-index", str(i), "--num-shards", "2",
+                "--out", str(tmp_path / f"p{i}"),
+            ]) == 0
+        capsys.readouterr()
+        uri = f"sqlite:{tmp_path / 'runs.db'}"
+        assert main([
+            "merge", str(tmp_path / "p0"), str(tmp_path / "p1"),
+            "--spec", spec_file, "--store", uri,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "saved merged run record to 1 in sqlite:" in out
+        assert main(["runs", "list", "--store", uri]) == 0
+        assert "2 seed(s)" in capsys.readouterr().out

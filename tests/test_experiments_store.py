@@ -212,6 +212,33 @@ class TestRegistry:
             r.created_at for r in runs
         )
 
+    def test_list_runs_skips_and_reports_bad_records(
+        self, sweep_result, tmp_path
+    ):
+        # one corrupt record must not make the whole registry
+        # unlistable; casualties surface through the side-channel
+        save_run(sweep_result, tmp_path / "good", name="good")
+        truncated = save_run(sweep_result, tmp_path / "truncated")
+        record = truncated / "run.json"
+        record.write_text(record.read_text()[:25])
+        wrong = save_run(sweep_result, tmp_path / "wrong-schema")
+        payload = json.loads((wrong / "run.json").read_text())
+        payload["schema_version"] = 999
+        (wrong / "run.json").write_text(json.dumps(payload))
+
+        skipped: list = []
+        runs = list_runs(tmp_path, skipped=skipped)
+        assert [r.name for r in runs] == ["good"]
+        assert sorted(path.name for path, _ in skipped) == [
+            "truncated",
+            "wrong-schema",
+        ]
+        reasons = {path.name: reason for path, reason in skipped}
+        assert "corrupted or truncated" in reasons["truncated"]
+        assert "schema_version" in reasons["wrong-schema"]
+        # without the side-channel the scan still survives
+        assert [r.name for r in list_runs(tmp_path)] == ["good"]
+
 
 class TestCompareRuns:
     def test_self_compare_all_same_zero_shift(self, sweep_result, tmp_path):
