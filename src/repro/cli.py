@@ -99,6 +99,7 @@ from repro.experiments.manifest import (
     save_manifest,
 )
 from repro.experiments.spec import load_spec, run_spec, save_spec
+from repro.lint.cli import add_lint_parser, cmd_lint
 from repro.experiments.store import (
     STORE_ENV,
     RunStore,
@@ -533,6 +534,8 @@ def build_parser() -> argparse.ArgumentParser:
         "dest", metavar="DEST_DIR", help="directory to write the record at"
     )
     _add_store(rex, store_help)
+
+    add_lint_parser(sub)
     return parser
 
 
@@ -547,6 +550,25 @@ def _check_scale(args: argparse.Namespace) -> bool:
         print(f"--scale must be in (0, 1], got {args.scale}", file=sys.stderr)
         return False
     return True
+
+
+def _check_path_args(*pairs: tuple[str, str]) -> bool:
+    """Up-front existence check for path arguments.
+
+    Diagnoses every missing path by its argument name — the
+    compare-runs ``RUN_A (<path>): ...`` style — so the user learns
+    *which* argument is wrong, not just which file some inner loader
+    failed to open.  The caller exits 2 on ``False``.
+    """
+    ok = True
+    for label, value in pairs:
+        if not Path(value).exists():
+            print(
+                f"{label} ({value}): no such file or directory",
+                file=sys.stderr,
+            )
+            ok = False
+    return ok
 
 
 def _open_store_arg(uri: str) -> RunStore | None:
@@ -715,6 +737,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if not _check_path_args(("SPEC.json", args.spec)):
+        return 2
     try:
         spec = load_spec(args.spec)
         spec.validate()
@@ -778,6 +802,8 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if not _check_path_args(("SPEC.json", args.spec)):
+        return 2
     try:
         spec = load_spec(args.spec)
         shards = shard_spec(spec, args.shards, strategy=args.strategy)
@@ -814,6 +840,8 @@ def _cmd_shard(args: argparse.Namespace) -> int:
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
+    if not _check_path_args(("MANIFEST", args.manifest)):
+        return 2
     try:
         manifest = load_manifest(args.manifest)
     except (OSError, ValueError) as exc:
@@ -850,6 +878,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             f"--max-retries must be >= 0, got {args.max_retries}",
             file=sys.stderr,
         )
+        return 2
+    if not _check_path_args(("MANIFEST", args.manifest)):
         return 2
     try:
         before = load_manifest(args.manifest)
@@ -938,13 +968,19 @@ def _cmd_merge(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    # validate --spec before touching the run dirs so a broken spec
+    # file is blamed as the spec, never as a malformed run record
     spec = None
     if args.spec:
+        if not _check_path_args(("--spec", args.spec)):
+            return 2
         try:
             spec = load_spec(args.spec)
         except (OSError, ValueError, KeyError) as exc:
             print(f"bad experiment spec {args.spec}: {exc}", file=sys.stderr)
             return 2
+    if not _check_path_args(*(("RUN_DIR", d) for d in args.run_dirs)):
+        return 2
     try:
         runs = [load_run(d) for d in args.run_dirs]
         merged = merge_runs(
@@ -1092,6 +1128,10 @@ def _cmd_runs_show(args: argparse.Namespace, store: RunStore) -> int:
 
 
 def _cmd_runs_import(args: argparse.Namespace, store: RunStore) -> int:
+    if not _check_path_args(
+        *(("RUN_DIR", d) for d in args.run_dirs)
+    ):
+        return 2
     for run_dir in args.run_dirs:
         try:
             stored = store.import_fs(run_dir)
@@ -1199,6 +1239,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_registry(args)
     if args.experiment == "runs":
         return _cmd_runs(args)
+    if args.experiment == "lint":
+        return cmd_lint(args)
     return _cmd_figure(args)
 
 

@@ -70,10 +70,11 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.experiments.spec import ExperimentSpec
+from repro.util.atomic import atomic_write_text
+from repro.util.clock import utc_now_iso
 from repro.util.tables import render_table
 
 __all__ = [
@@ -110,7 +111,7 @@ _ALLOWED_FROM = {
 
 
 def _utc_now() -> str:
-    return datetime.now(timezone.utc).isoformat()
+    return utc_now_iso()
 
 
 def spec_sha256(spec: ExperimentSpec | dict) -> str:
@@ -429,18 +430,13 @@ def create_manifest(
 def save_manifest(manifest: RunManifest, path: str | Path) -> Path:
     """Write ``manifest`` as JSON at ``path`` (parents created).
 
-    The write goes through a same-directory temp file and an atomic
-    rename, so a dispatcher killed mid-save leaves the previous
-    consistent snapshot, never a truncated file.
+    The write goes through
+    :func:`~repro.util.atomic.atomic_write_text` (same-directory temp
+    file + atomic rename), so a dispatcher killed mid-save leaves the
+    previous consistent snapshot, never a truncated file.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    with tmp.open("w", encoding="utf-8") as fh:
-        json.dump(manifest.to_dict(), fh, indent=1)
-        fh.write("\n")
-    tmp.replace(path)
-    return path
+    text = json.dumps(manifest.to_dict(), indent=1) + "\n"
+    return atomic_write_text(Path(path), text)
 
 
 def load_manifest(path: str | Path) -> RunManifest:

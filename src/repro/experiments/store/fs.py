@@ -30,6 +30,7 @@ from repro.experiments.store.record import (
     write_record_text,
 )
 from repro.experiments.sweep import SweepResult
+from repro.util.atomic import atomic_write_text
 
 __all__ = ["FsRunStore"]
 
@@ -195,8 +196,7 @@ class FsRunStore(RunStore):
         while (dest / RUN_JSON).exists():
             dest = self.root / f"{run_dir.name}-{counter}"
             counter += 1
-        dest.mkdir(parents=True, exist_ok=True)
-        (dest / RUN_JSON).write_text(text, encoding="utf-8")
+        atomic_write_text(dest / RUN_JSON, text)
         grid = run_dir / "grid.csv"
         if grid.is_file():
             shutil.copyfile(grid, dest / "grid.csv")

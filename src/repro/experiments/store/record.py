@@ -82,11 +82,11 @@ only); ``run.json`` is the record of truth and the only file
 from __future__ import annotations
 
 import csv
+import io
 import json
 import subprocess
 from collections.abc import Sequence
 from dataclasses import asdict, dataclass, fields
-from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.experiments.config import RunSettings
@@ -95,6 +95,8 @@ from repro.experiments.sweep import (
     SweepResult,
 )
 from repro.metrics.report import PerformanceReport
+from repro.util.atomic import atomic_write_text
+from repro.util.clock import utc_now_iso, utc_timestamp
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -187,8 +189,7 @@ def _settings_from_dict(data: dict | None) -> RunSettings | None:
 
 def new_run_dir(root: str | Path, name: str = "sweep") -> Path:
     """Fresh registry path ``<root>/<UTC timestamp>-<name>`` (not created)."""
-    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
-    return Path(root) / f"{stamp}-{name}"
+    return Path(root) / f"{utc_timestamp()}-{name}"
 
 
 def build_payload(
@@ -209,7 +210,7 @@ def build_payload(
     payload = {
         "schema_version": SCHEMA_VERSION,
         "name": name,
-        "created_at": datetime.now(timezone.utc).isoformat(),
+        "created_at": utc_now_iso(),
         "git_sha": _git_sha(),
         "elapsed_seconds": result.elapsed_seconds,
         "scale": result.scale,
@@ -363,41 +364,44 @@ def write_record_text(
 
     The text lands byte-for-byte as given; ``grid.csv`` is regenerated
     from ``result`` (it is a derived convenience export, never parsed
-    back).  The directory is created, and the record write goes
-    through a temp file + atomic rename: a crash mid-save must never
-    leave a truncated ``run.json`` behind a shard marked "done"
-    (resume treats an unreadable record as work owed, but a clean
-    snapshot is better than a redo).
+    back).  The directory is created, and both writes go through
+    :func:`~repro.util.atomic.atomic_write_text` (temp file + atomic
+    rename): a crash mid-save must never leave a truncated
+    ``run.json`` behind a shard marked "done" (resume treats an
+    unreadable record as work owed, but a clean snapshot is better
+    than a redo).
     """
     run_dir = Path(run_dir)
-    record = run_dir / RUN_JSON
-    run_dir.mkdir(parents=True, exist_ok=True)
-    tmp = record.with_name(record.name + ".tmp")
-    tmp.write_text(text, encoding="utf-8")
-    tmp.replace(record)
+    atomic_write_text(run_dir / RUN_JSON, text)
     write_grid_csv(result, run_dir / GRID_CSV)
     return run_dir
 
 
 def write_grid_csv(result: SweepResult, path: Path) -> None:
-    """Flat per-seed export: one row per (variant, scheduler, seed)."""
-    with path.open("w", encoding="utf-8", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(
-            ("variant", "scheduler", "seed")
-            + _CSV_REPORT_FIELDS
-            + ("mean_utilization",)
-        )
-        for variant in result.variants:
-            for sched in result.schedulers():
-                for seed, rep in zip(
-                    result.seeds, result.cell(variant.name, sched)
-                ):
-                    writer.writerow(
-                        [variant.name, sched, seed]
-                        + [getattr(rep, f) for f in _CSV_REPORT_FIELDS]
-                        + [rep.mean_utilization]
-                    )
+    """Flat per-seed export: one row per (variant, scheduler, seed).
+
+    Serialized in memory, then written atomically; ``newline=""``
+    preserves the csv module's own ``\\r\\n`` terminators byte for
+    byte.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ("variant", "scheduler", "seed")
+        + _CSV_REPORT_FIELDS
+        + ("mean_utilization",)
+    )
+    for variant in result.variants:
+        for sched in result.schedulers():
+            for seed, rep in zip(
+                result.seeds, result.cell(variant.name, sched)
+            ):
+                writer.writerow(
+                    [variant.name, sched, seed]
+                    + [getattr(rep, f) for f in _CSV_REPORT_FIELDS]
+                    + [rep.mean_utilization]
+                )
+    atomic_write_text(path, buffer.getvalue(), newline="")
 
 
 def save_run_to_registry(

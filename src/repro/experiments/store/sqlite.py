@@ -161,6 +161,7 @@ class SqliteRunStore(RunStore):
                 # user_version lives in the database header and is
                 # journaled, so the bump commits with the DDL or not
                 # at all
+                # repro: allow[Q1] -- PRAGMA accepts no ? parameters; number is the migration index from enumerate(), never user input
                 self._conn.execute(f"PRAGMA user_version={number}")
                 self._conn.execute("COMMIT")
             except BaseException:
@@ -317,12 +318,14 @@ class SqliteRunStore(RunStore):
         "id, name, created_at, git_sha, schema_version, "
         "n_variants, n_seeds, n_schedulers"
     )
+    #: ``list()``'s whole statement, composed once at class-body time
+    #: from the constants above so the query itself is static
+    _LIST_SQL = (
+        f"SELECT {_SUMMARY_COLUMNS} FROM runs ORDER BY created_at, id"
+    )
 
     def list(self) -> list[RunSummary]:
-        rows = self._conn.execute(
-            f"SELECT {self._SUMMARY_COLUMNS} FROM runs "
-            "ORDER BY created_at, id"
-        )
+        rows = self._conn.execute(self._LIST_SQL)
         return [_summary(row) for row in rows]
 
     def find(
@@ -348,6 +351,7 @@ class SqliteRunStore(RunStore):
                 )
                 params.append(value)
         where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        # repro: allow[Q1] -- WHERE is joined from the fixed fragments above; every value rides a ? parameter
         rows = self._conn.execute(
             f"SELECT {self._SUMMARY_COLUMNS} FROM runs {where} "
             "ORDER BY created_at, id",

@@ -72,6 +72,7 @@ def _register_heuristics() -> None:
                 _mode=mode,
                 **params,
             ):
+                """Build one (algorithm, risk mode) heuristic scheduler."""
                 if f is None:
                     f = defaults.f_risky if defaults is not None else 0.5
                 if _algo == "random":

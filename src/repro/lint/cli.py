@@ -1,0 +1,97 @@
+"""The ``repro-grid lint`` subcommand.
+
+Thin argparse adapter over :func:`repro.lint.core.lint_paths` with the
+repo-wide exit-code contract: 0 clean, 1 findings, 2 bad invocation
+(unknown rule id, nonexistent path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lint.core import lint_paths
+from repro.lint.rules import default_rules
+
+__all__ = ["add_lint_parser", "cmd_lint"]
+
+
+def add_lint_parser(sub) -> None:
+    """Attach the ``lint`` subparser to a subparsers object."""
+    parser = sub.add_parser(
+        "lint",
+        help="check sources against the repo's determinism/atomicity/"
+        "registry invariants",
+        description=(
+            "AST-check Python sources against the repro.lint rule "
+            "catalogue (docs/LINT.md). Exit 0 when clean, 1 when any "
+            "finding remains, 2 on bad invocation."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        metavar="PATHS",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--rule",
+        metavar="ID",
+        action="append",
+        dest="rules",
+        help="run only this rule id (repeatable); default: all rules",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    known = {rule.rule_id for rule in rules}
+    selected = args.rules
+    if selected:
+        unknown = sorted(set(selected) - known)
+        if unknown:
+            print(
+                f"--rule: unknown rule id(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        report = lint_paths(args.paths, rules, rule_ids=selected)
+    except FileNotFoundError as exc:
+        print(f"PATHS: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
+def _main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(prog="repro-lint")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_lint_parser(sub)
+    return cmd_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

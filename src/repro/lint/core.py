@@ -1,0 +1,443 @@
+"""The invariant-linter framework: rules, findings, suppressions.
+
+``repro.lint`` is a custom AST static-analysis pass that turns the
+library's documented conventions — determinism, atomic persistence,
+registry hygiene — into mechanically enforced rules (see
+``docs/LINT.md`` for the catalogue and the rationale per rule).  This
+module is the rule-agnostic machinery:
+
+* :class:`Finding` — one violation: file, line, column, rule id,
+  message, and a fix hint;
+* :class:`Rule` — the base class a rule subclasses: a ``rule_id``, a
+  scope predicate (:meth:`Rule.applies`) and a :meth:`Rule.check`
+  generator walking the parsed file;
+* :class:`FileContext` — one parsed file plus the cross-rule
+  conveniences (import-alias resolution to dotted names, a parent
+  map, the suppression table);
+* :func:`lint_paths` — the engine: collect ``.py`` files, parse, run
+  every applicable rule, filter suppressed findings, and police the
+  suppression pragmas themselves.
+
+Suppression pragmas
+-------------------
+A finding is silenced in place with ::
+
+    do_unavoidable_thing()  # repro: allow[Q1] -- find() composes a WHERE clause
+
+or, for multi-line statements, with a standalone pragma comment on the
+line directly above the finding.  The justification after ``--`` is
+*mandatory*: a pragma without one, or naming a rule id that does not
+exist, is itself a finding (rule id ``LNT``) — an unexplained
+suppression is a convention violation of its own.  Several ids may
+share one pragma: ``allow[D1,D3]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "META_RULE_ID",
+    "Finding",
+    "Suppression",
+    "FileContext",
+    "Rule",
+    "LintReport",
+    "lint_paths",
+]
+
+#: rule id of the linter's own hygiene findings (unparseable files,
+#: malformed or unjustified suppression pragmas)
+META_RULE_ID = "LNT"
+
+#: ``# repro: allow[D1] -- justification`` (ids comma-separable)
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[([^\]]*)\]\s*(?:--\s*(.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """``path:line:col: RULE: message`` (plus an indented hint)."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id}: " \
+               f"{self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``repro-grid lint --format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: allow[...]`` pragma found in a file."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+    #: the pragma is alone on its line, so it covers the next line too
+    standalone: bool
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        """Whether this pragma silences ``rule_id`` findings at ``line``."""
+        if rule_id not in self.rule_ids:
+            return False
+        return line == self.line or (self.standalone and line == self.line + 1)
+
+
+def _attr_chain(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` attribute/name chain as a tuple, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class FileContext:
+    """One parsed source file plus the lookups every rule shares."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        #: display path (as given on the command line, posix separators)
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source)
+        #: local name -> dotted origin, from the file's import statements
+        self.imports: dict[str, str] = {}
+        #: child node -> parent node, for wrapped-in-``sorted()`` checks
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self._collect_imports()
+        self.suppressions = self._collect_suppressions()
+
+    # -- imports and name resolution ----------------------------------
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    origin = alias.name if alias.asname else local
+                    self.imports[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                # relative imports keep their dots; suffix matching in
+                # the rules still works on the trailing segments
+                prefix = "." * node.level + node.module
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{prefix}.{alias.name}"
+
+    def resolved_name(self, node: ast.AST) -> str | None:
+        """The dotted origin a call target resolves to, or None.
+
+        ``np.random.default_rng`` resolves through ``import numpy as
+        np`` to ``"numpy.random.default_rng"``; a bare builtin name
+        (``open``, ``sorted``, ``set``) resolves to itself.  Chains
+        rooted in an un-imported name (``self.rng.choice``) resolve to
+        None — rules for *module-level* state must not fire on
+        instance attributes that merely share a module's name.
+        """
+        chain = _attr_chain(node)
+        if chain is None:
+            return None
+        root, rest = chain[0], chain[1:]
+        origin = self.imports.get(root)
+        if origin is not None:
+            return ".".join((origin, *rest))
+        if not rest:
+            return root  # bare name: a builtin or module-local def
+        return None
+
+    def call_name(self, node: ast.Call) -> str | None:
+        """:meth:`resolved_name` of a call's target."""
+        return self.resolved_name(node.func)
+
+    # -- location helpers ---------------------------------------------
+
+    def in_sorted(self, node: ast.AST) -> bool:
+        """Whether ``node`` is a direct argument of a ``sorted()`` call."""
+        parent = self.parents.get(node)
+        return (
+            isinstance(parent, ast.Call)
+            and self.resolved_name(parent.func) == "sorted"
+            and node in parent.args
+        )
+
+    def path_endswith(self, *suffixes: str) -> bool:
+        """Whether the file's posix path ends with any of ``suffixes``."""
+        posix = self.path.as_posix()
+        return any(posix.endswith(s) for s in suffixes)
+
+    def path_contains(self, *fragments: str) -> bool:
+        """Whether any ``fragment`` occurs in the file's posix path."""
+        posix = "/" + self.path.as_posix().lstrip("/")
+        return any(f in posix for f in fragments)
+
+    # -- suppressions -------------------------------------------------
+
+    def _collect_suppressions(self) -> list[Suppression]:
+        # tokenize, not a raw line scan: pragmas are *comments*, and a
+        # docstring quoting the pragma syntax must not register one
+        out = []
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(self.source).readline)
+            )
+        except (tokenize.TokenError, IndentationError):
+            # the file already survived ast.parse, so this is
+            # unreachable in practice; fail open (no suppressions)
+            return []
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if not match:
+                continue
+            ids = tuple(
+                part.strip() for part in match.group(1).split(",")
+                if part.strip()
+            )
+            justification = (match.group(2) or "").strip()
+            lineno, col = tok.start
+            before = self.lines[lineno - 1][:col]
+            out.append(
+                Suppression(
+                    line=lineno,
+                    rule_ids=ids,
+                    justification=justification,
+                    standalone=not before.strip(),
+                )
+            )
+        return out
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether an in-file pragma covers ``finding``."""
+        return any(
+            s.covers(finding.rule_id, finding.line)
+            for s in self.suppressions
+        )
+
+
+class Rule(ABC):
+    """One invariant: an id, a scope, and an AST check.
+
+    Subclasses set :attr:`rule_id` (the short code findings and
+    ``allow[...]`` pragmas use), :attr:`title` (one line for ``lint
+    --list-rules``) and :attr:`default_hint`, then implement
+    :meth:`check` as a generator of findings over a
+    :class:`FileContext`.  Override :meth:`applies` to scope the rule
+    to particular paths — rules outside their scope are never run, so
+    a rule's cost is bounded by its blast radius.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    default_hint: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (default: yes)."""
+        return True
+
+    @abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``ctx``."""
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        *,
+        hint: str | None = None,
+    ) -> Finding:
+        """A :class:`Finding` at ``node``'s location in ``ctx``."""
+        return Finding(
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+            hint=hint if hint is not None else self.default_hint,
+        )
+
+
+@dataclass
+class LintReport:
+    """The outcome of one :func:`lint_paths` pass."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        """Human-readable report (the ``--format text`` body)."""
+        lines = [f.render() for f in self.findings]
+        tally = (
+            f"{len(self.findings)} finding(s)"
+            if self.findings
+            else "clean"
+        )
+        lines.append(
+            f"{tally}: {len(self.files)} file(s) checked, "
+            f"{len(self.suppressed)} finding(s) suppressed"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``repro-grid lint --format json``)."""
+        return {
+            "clean": self.clean,
+            "files_checked": len(self.files),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+
+def _collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files and directories),
+    deduplicated, in sorted order.  Missing paths raise
+    ``FileNotFoundError`` naming the offender."""
+    out: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            out.setdefault(path, None)
+        elif path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                out.setdefault(child, None)
+        else:
+            raise FileNotFoundError(
+                f"no such file or directory: {raw}"
+            )
+    return list(out)
+
+
+def _pragma_findings(ctx: FileContext, known_ids: set[str]) -> list[Finding]:
+    """Police the suppression pragmas themselves (rule ``LNT``)."""
+    out = []
+    for pragma in ctx.suppressions:
+        if not pragma.rule_ids:
+            out.append(Finding(
+                path=ctx.rel, line=pragma.line, col=1,
+                rule_id=META_RULE_ID,
+                message="suppression pragma names no rule id",
+                hint="write '# repro: allow[RULE-ID] -- justification'",
+            ))
+            continue
+        unknown = [r for r in pragma.rule_ids if r not in known_ids]
+        if unknown:
+            out.append(Finding(
+                path=ctx.rel, line=pragma.line, col=1,
+                rule_id=META_RULE_ID,
+                message=(
+                    f"suppression pragma names unknown rule id(s) "
+                    f"{', '.join(unknown)} (it would silence nothing)"
+                ),
+                hint=f"known rule ids: {', '.join(sorted(known_ids))}",
+            ))
+        if not pragma.justification:
+            out.append(Finding(
+                path=ctx.rel, line=pragma.line, col=1,
+                rule_id=META_RULE_ID,
+                message=(
+                    "suppression pragma has no justification — every "
+                    "allow[...] must say why the rule does not apply"
+                ),
+                hint=(
+                    "append ' -- <reason>' to the pragma, e.g. "
+                    "'# repro: allow[Q1] -- WHERE clause is composed "
+                    "from fixed fragments, values go through ? params'"
+                ),
+            ))
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Iterable[Rule],
+    *,
+    rule_ids: Sequence[str] | None = None,
+) -> LintReport:
+    """Run ``rules`` over every ``.py`` file under ``paths``.
+
+    ``rule_ids`` restricts the pass to those rules (``repro-grid lint
+    --rule D1``); pragma hygiene (``LNT``) always runs.  Findings come
+    back sorted by (path, line, column, rule id); suppressed findings
+    are kept separately so the report can say how much is being
+    allowed.  Unreadable or unparseable files surface as ``LNT``
+    findings, not crashes — the linter must be able to report on a
+    broken tree.
+    """
+    active = [
+        rule for rule in rules
+        if rule_ids is None or rule.rule_id in rule_ids
+    ]
+    known_ids = {rule.rule_id for rule in rules} | {META_RULE_ID}
+    report = LintReport()
+    for path in _collect_files(paths):
+        rel = path.as_posix()
+        report.files.append(rel)
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = FileContext(path, rel, source)
+        except (OSError, UnicodeDecodeError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            report.findings.append(Finding(
+                path=rel, line=line, col=1, rule_id=META_RULE_ID,
+                message=f"cannot lint file: {exc}",
+                hint="the linter needs a parseable UTF-8 python file",
+            ))
+            continue
+        raised: list[Finding] = []
+        for rule in active:
+            if rule.applies(ctx):
+                raised.extend(rule.check(ctx))
+        for finding in raised:
+            if ctx.suppressed(finding):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+        report.findings.extend(_pragma_findings(ctx, known_ids))
+    report.findings.sort(
+        key=lambda f: (f.path, f.line, f.col, f.rule_id)
+    )
+    return report

@@ -1,0 +1,27 @@
+"""Pinned checksums for append-only artifacts (rule ``Q1``).
+
+``MIGRATIONS_LOCK`` holds one checksum per *released* entry of the
+``MIGRATIONS`` tuple in :mod:`repro.experiments.store.sqlite`, in
+order.  The linter recomputes each entry's checksum (SHA-256 of the
+whitespace-stripped source segment, first 16 hex digits — see
+:func:`repro.lint.rules.migration_checksum`) and compares
+positionally, so:
+
+* editing or reordering a released migration → ``Q1`` finding — a
+  migration that already ran against someone's database is history,
+  not code;
+* appending a new migration → ``Q1`` finding whose hint carries the
+  checksum to append here, which is the release act.
+
+Whitespace-insensitivity means pure reformatting never invalidates a
+lock; any change to the SQL itself does.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MIGRATIONS_LOCK"]
+
+MIGRATIONS_LOCK: tuple[str, ...] = (
+    "32b4d717a01a63c5",  # v1: runs table + metadata indexes
+    "da345429ce99f5a4",  # v2: cells table for axis queries
+)

@@ -1,6 +1,8 @@
 """Shared utilities: deterministic RNG streams, validation, statistics,
-table rendering and timing."""
+table rendering, timing, atomic writes and the provenance clock."""
 
+from repro.util.atomic import atomic_write_text
+from repro.util.clock import utc_now_iso, utc_timestamp
 from repro.util.rng import RngFactory, as_generator, spawn
 from repro.util.stats import (
     Summary,
@@ -25,6 +27,9 @@ __all__ = [
     "RngFactory",
     "as_generator",
     "spawn",
+    "atomic_write_text",
+    "utc_now_iso",
+    "utc_timestamp",
     "Summary",
     "summarize",
     "ratio",

@@ -1,0 +1,50 @@
+"""Atomic file writes: the temp-file + rename helper.
+
+The crash-resume protocol leans on one filesystem property: a record
+that exists is complete.  A dispatcher killed mid-save must leave
+either the previous consistent snapshot or nothing — never a truncated
+``run.json`` behind a shard marked "done".  POSIX gives exactly that
+for a same-directory ``rename(2)``, so every durable write in the
+store and manifest layers goes through :func:`atomic_write_text`:
+write the full payload to a sibling temp file, then rename it over the
+destination in one atomic step.
+
+This module is the *only* sanctioned way to write files under
+``repro/experiments/store/`` and ``repro/experiments/manifest.py`` —
+the ``repro.lint`` rule **A1** flags any direct ``open(..., "w")`` /
+``write_text`` call there and points here instead.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(
+    path: str | Path,
+    text: str,
+    *,
+    encoding: str = "utf-8",
+    newline: str | None = None,
+) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    Parent directories are created.  The content is flushed and
+    fsynced before the rename, so after a crash the destination holds
+    either the complete new text or whatever was there before — never
+    a prefix.  ``newline`` follows :func:`open` semantics (pass ``""``
+    for content that carries its own line endings, e.g. CSV text with
+    ``\\r\\n`` terminators).  Returns ``path``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding=encoding, newline=newline) as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    tmp.replace(path)
+    return path

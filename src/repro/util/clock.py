@@ -1,0 +1,41 @@
+"""Designated wall-clock provenance helpers.
+
+Run records, manifests and reports carry *provenance* timestamps
+(``created_at``, ``updated_at``) that are deliberately wall-clock —
+they say when a record was written, not anything about the simulated
+experiment.  Every other byte of a record must be a pure function of
+the spec and seeds, so payload-producing modules are forbidden from
+reaching for ``datetime.now()`` / ``time.time()`` themselves: the
+``repro.lint`` rule **D2** flags any direct wall-clock call in those
+modules and points here instead.
+
+Funnelling every stamp through this module keeps the set of
+nondeterministic bytes in a record auditable (grep for these helpers
+and you have found them all), and gives tests one seam to monkeypatch
+when they need a frozen clock.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+__all__ = ["utc_now_iso", "utc_timestamp"]
+
+
+def utc_now_iso() -> str:
+    """The current UTC wall-clock time as an ISO-8601 string.
+
+    The ``created_at`` / ``updated_at`` form used by run records and
+    manifests (e.g. ``2026-07-28T09:31:02.123456+00:00``).
+    """
+    return datetime.now(timezone.utc).isoformat()
+
+
+def utc_timestamp() -> str:
+    """The current UTC wall-clock time as a compact path-safe stamp.
+
+    The ``<YYYYmmddTHHMMSSZ>`` form used to name registry directories
+    (see :func:`repro.experiments.store.record.new_run_dir`); seconds
+    resolution, sorts chronologically as a plain string.
+    """
+    return datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")

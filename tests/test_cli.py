@@ -176,7 +176,9 @@ class TestSpecCommands:
 
     def test_run_missing_spec(self, capsys, tmp_path):
         assert main(["run", str(tmp_path / "nope.json")]) == 2
-        assert "bad experiment spec" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # the diagnostic names the offending argument, RUN_A-style
+        assert "SPEC.json" in err and "no such file or directory" in err
 
     def test_run_malformed_spec(self, capsys, tmp_path):
         bad = tmp_path / "bad.json"
@@ -291,7 +293,8 @@ class TestShardMergeCommands:
             "shard", str(tmp_path / "nope.json"),
             "--shards", "2", "--out-dir", str(tmp_path / "s"),
         ]) == 2
-        assert "bad experiment spec" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "SPEC.json" in err and "no such file or directory" in err
 
     def test_shard_bad_count(self, capsys, tmp_path):
         spec_file = self._emit_spec(tmp_path)
@@ -370,7 +373,8 @@ class TestShardMergeCommands:
         assert main([
             "merge", str(tmp_path / "nope"), "--out", str(tmp_path / "m"),
         ]) == 2
-        assert "no run record" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "RUN_DIR" in err and "no such file or directory" in err
 
     def test_merge_bad_spec_blames_the_spec(self, capsys, tmp_path):
         # a broken --spec file must not be misreported as a malformed
@@ -767,7 +771,8 @@ class TestRunsStore:
         assert main([
             "runs", "import", str(tmp_path / "nope"), "--store", uri,
         ]) == 2
-        assert "no run record" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "RUN_DIR" in err and "no such file or directory" in err
 
     def test_bad_store_uri_exit_2(self, capsys, tmp_path):
         assert main(["runs", "list", "--store", "bogus:x"]) == 2
