@@ -28,6 +28,10 @@ Examples
     repro-grid runs show 3 --store sqlite:runs.db
     repro-grid runs import runs/20260728T093102Z-baseline --store sqlite:runs.db
     repro-grid runs export 3 out/baseline --store sqlite:runs.db
+    repro-grid serve --store sqlite:runs.db --port 8750
+    repro-grid submit fig8.json --wait
+    repro-grid jobs
+    repro-grid cancel 3
 
 ``--scale 1.0`` runs the paper-size experiments (minutes of CPU time);
 the default is a fast scaled-down run with identical distributions.
@@ -58,6 +62,11 @@ registry — or ``sqlite:runs.db``), and the ``runs`` subcommand family
 (``list`` / ``show`` / ``import`` / ``export``) manages a store's
 contents directly, defaulting to the ``REPRO_STORE`` environment
 variable and then ``fs:runs``.
+
+``serve`` runs the long-lived experiment service (HTTP API +
+background dispatcher) over a SQLite store; ``submit`` / ``jobs`` /
+``cancel`` talk to it through :mod:`repro.service.client` (see
+``docs/SERVICE.md``).
 
 Each subcommand owns its options: write ``repro-grid fig8 --scale
 0.1``, not ``repro-grid --scale 0.1 fig8``.
@@ -98,7 +107,14 @@ from repro.experiments.manifest import (
     load_manifest,
     save_manifest,
 )
-from repro.experiments.spec import load_spec, run_spec, save_spec
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SpecError,
+    load_spec,
+    parse_spec_text,
+    run_spec,
+    save_spec,
+)
 from repro.lint.cli import add_lint_parser, cmd_lint
 from repro.experiments.store import (
     STORE_ENV,
@@ -108,8 +124,11 @@ from repro.experiments.store import (
     find_regressions,
     load_run,
     open_store,
+    parse_store_uri,
     save_run,
 )
+from repro.service.client import SERVICE_URL_ENV
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
 from repro.experiments.sweep import (
     job_scaling_variants,
     run_sweep,
@@ -535,6 +554,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store(rex, store_help)
 
+    srv = sub.add_parser(
+        "serve",
+        help=(
+            "run the experiment service: HTTP API + background job "
+            "dispatcher (see docs/SERVICE.md)"
+        ),
+    )
+    _add_store(
+        srv,
+        "the service database: queue + run store in one sqlite file "
+        "(must be sqlite:FILE; default: the REPRO_STORE environment "
+        "variable, then sqlite:runs.db)",
+    )
+    srv.add_argument(
+        "--host",
+        type=str,
+        default=DEFAULT_HOST,
+        help=f"address to bind (default {DEFAULT_HOST})",
+    )
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"port to bind; 0 = ephemeral (default {DEFAULT_PORT})",
+    )
+    srv.add_argument(
+        "--max-workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool size for each job's shard dispatch "
+            "(default 1 = sequential)"
+        ),
+    )
+
+    url_help = (
+        "service base URL (default: the REPRO_SERVICE_URL environment "
+        f"variable, then http://{DEFAULT_HOST}:{DEFAULT_PORT})"
+    )
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit an experiment spec to a running service",
+    )
+    sbm.add_argument(
+        "spec", metavar="SPEC.json", help="experiment spec file to submit"
+    )
+    sbm.add_argument("--url", type=str, default=None, help=url_help)
+    sbm.add_argument(
+        "--wait",
+        action="store_true",
+        help=(
+            "poll until the job reaches a terminal state; exit 0 only "
+            "on 'done'"
+        ),
+    )
+    sbm.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="--wait deadline in seconds (default 600)",
+    )
+
+    jbs = sub.add_parser(
+        "jobs", help="list a running service's job queue"
+    )
+    jbs.add_argument("--url", type=str, default=None, help=url_help)
+
+    cnc = sub.add_parser(
+        "cancel", help="cancel a pending job on a running service"
+    )
+    cnc.add_argument(
+        "job_id", type=int, metavar="JOB_ID", help="job id to cancel"
+    )
+    cnc.add_argument("--url", type=str, default=None, help=url_help)
+
     add_lint_parser(sub)
     return parser
 
@@ -569,6 +665,35 @@ def _check_path_args(*pairs: tuple[str, str]) -> bool:
             )
             ok = False
     return ok
+
+
+def _load_spec_arg(
+    path: str, *, validate: bool = True
+) -> ExperimentSpec | None:
+    """Load a ``SPEC.json`` argument, diagnosing every malformed input
+    uniformly as ``<path>: invalid spec: <reason>`` on stderr (the
+    caller exits 2 on ``None``) — the CLI half of the shared
+    validation seam (:func:`repro.experiments.spec.parse_spec_text`;
+    the HTTP service's half is a 422 with the same message).
+
+    ``validate=True`` additionally resolves scheduler refs against the
+    registry (the run path); partition-only commands (shard, merge)
+    skip it so a spec can be partitioned without its plugin modules.
+    """
+    try:
+        spec = load_spec(path)
+        if validate:
+            spec.validate()
+        return spec
+    except SpecError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+    except KeyError as exc:  # validate(): unknown scheduler ref
+        print(f"{path}: invalid spec: {exc.args[0]}", file=sys.stderr)
+        return None
+    except (OSError, ValueError) as exc:
+        print(f"{path}: invalid spec: {exc}", file=sys.stderr)
+        return None
 
 
 def _open_store_arg(uri: str) -> RunStore | None:
@@ -739,11 +864,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if not _check_path_args(("SPEC.json", args.spec)):
         return 2
-    try:
-        spec = load_spec(args.spec)
-        spec.validate()
-    except (OSError, ValueError, KeyError) as exc:
-        print(f"bad experiment spec {args.spec}: {exc}", file=sys.stderr)
+    spec = _load_spec_arg(args.spec)
+    if spec is None:
         return 2
     if args.shard_index is not None:
         if args.num_shards < 1:
@@ -804,11 +926,13 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         return 2
     if not _check_path_args(("SPEC.json", args.spec)):
         return 2
+    spec = _load_spec_arg(args.spec, validate=False)
+    if spec is None:
+        return 2
     try:
-        spec = load_spec(args.spec)
         shards = shard_spec(spec, args.shards, strategy=args.strategy)
-    except (OSError, ValueError, KeyError) as exc:
-        print(f"bad experiment spec {args.spec}: {exc}", file=sys.stderr)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
     if len(shards) < args.shards:
         print(
@@ -974,10 +1098,8 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     if args.spec:
         if not _check_path_args(("--spec", args.spec)):
             return 2
-        try:
-            spec = load_spec(args.spec)
-        except (OSError, ValueError, KeyError) as exc:
-            print(f"bad experiment spec {args.spec}: {exc}", file=sys.stderr)
+        spec = _load_spec_arg(args.spec, validate=False)
+        if spec is None:
             return 2
     if not _check_path_args(*(("RUN_DIR", d) for d in args.run_dirs)):
         return 2
@@ -1153,6 +1275,181 @@ def _cmd_runs_export(args: argparse.Namespace, store: RunStore) -> int:
     return 0
 
 
+def _service_url(args: argparse.Namespace) -> str:
+    return (
+        args.url
+        or os.environ.get(SERVICE_URL_ENV)
+        or f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+    )
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(_service_url(args))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    uri = args.store or os.environ.get(STORE_ENV) or "sqlite:runs.db"
+    try:
+        backend, db_path = parse_store_uri(uri)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if backend != "sqlite":
+        print(
+            f"serve needs a sqlite store (the job queue lives inside "
+            f"the database), got {uri!r} — use --store sqlite:FILE",
+            file=sys.stderr,
+        )
+        return 2
+    if not (0 <= args.port <= 65535):
+        print(
+            f"--port must be in 0..65535, got {args.port}", file=sys.stderr
+        )
+        return 2
+    if args.max_workers < 1:
+        print(
+            f"--max-workers must be >= 1, got {args.max_workers}",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.service.server import serve
+
+    return serve(
+        db_path,
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import urllib.error
+
+    from repro.service.client import ServiceError
+
+    if args.timeout <= 0:
+        print(
+            f"--timeout must be > 0, got {args.timeout}", file=sys.stderr
+        )
+        return 2
+    if not _check_path_args(("SPEC.json", args.spec)):
+        return 2
+    # validate locally first: a malformed spec earns its exit 2 before
+    # any network traffic (the server re-validates with the same
+    # helper — same diagnostic either way)
+    text = Path(args.spec).read_text(encoding="utf-8")
+    try:
+        parse_spec_text(text).validate()
+    except SpecError as exc:
+        print(f"{args.spec}: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"{args.spec}: invalid spec: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"{args.spec}: invalid spec: {exc}", file=sys.stderr)
+        return 2
+    client = _service_client(args)
+    try:
+        job = client.submit_text(text)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2 if exc.status == 422 else 1
+    except urllib.error.URLError as exc:
+        print(
+            f"cannot reach the service at {client.base_url}: "
+            f"{exc.reason}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"submitted job {job['id']} ({job['name']!r}, "
+        f"state {job['state']}) to {client.base_url}"
+    )
+    if not args.wait:
+        return 0
+    try:
+        job = client.wait(job["id"], timeout=args.timeout)
+    except TimeoutError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except urllib.error.URLError as exc:
+        print(
+            f"lost the service at {client.base_url}: {exc.reason}",
+            file=sys.stderr,
+        )
+        return 1
+    if job["state"] == "done":
+        print(f"job {job['id']} done: run {job['run_ref']} in the store")
+        return 0
+    print(
+        f"job {job['id']} ended {job['state']!r}"
+        + (f": {job['error']}" if job.get("error") else ""),
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import urllib.error
+
+    client = _service_client(args)
+    try:
+        jobs = client.jobs()
+    except urllib.error.URLError as exc:
+        print(
+            f"cannot reach the service at {client.base_url}: "
+            f"{exc.reason}",
+            file=sys.stderr,
+        )
+        return 1
+    if not jobs:
+        print(f"no jobs at {client.base_url}")
+        return 0
+    print(render_table(
+        ["job", "name", "state", "created", "run ref", "error"],
+        [
+            [
+                j["id"],
+                j["name"],
+                j["state"],
+                j["created_at"],
+                j["run_ref"] or "",
+                j["error"] or "",
+            ]
+            for j in jobs
+        ],
+        title=f"Jobs at {client.base_url}",
+    ))
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    import urllib.error
+
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        job = client.cancel(args.job_id)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        # 404 = the argument names no job (usage error); 409 = the job
+        # exists but is past cancelling (a state conflict, not usage)
+        return 2 if exc.status == 404 else 1
+    except urllib.error.URLError as exc:
+        print(
+            f"cannot reach the service at {client.base_url}: "
+            f"{exc.reason}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"job {job['id']} cancelled")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     if not _check_scale(args):
         return 2
@@ -1239,6 +1536,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_registry(args)
     if args.experiment == "runs":
         return _cmd_runs(args)
+    if args.experiment == "serve":
+        return _cmd_serve(args)
+    if args.experiment == "submit":
+        return _cmd_submit(args)
+    if args.experiment == "jobs":
+        return _cmd_jobs(args)
+    if args.experiment == "cancel":
+        return _cmd_cancel(args)
     if args.experiment == "lint":
         return cmd_lint(args)
     return _cmd_figure(args)

@@ -70,6 +70,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.experiments.spec import ExperimentSpec
@@ -81,6 +82,7 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "MANIFEST_JSON",
     "SHARD_STATES",
+    "STALE_RUNNING_SECONDS",
     "ShardEntry",
     "RunManifest",
     "spec_sha256",
@@ -90,6 +92,15 @@ __all__ = [
 ]
 
 MANIFEST_SCHEMA_VERSION = 1
+
+#: a ``running`` shard older than this many seconds is flagged as
+#: likely stale by ``repro-grid status`` and the service's progress
+#: endpoint — a dispatcher killed mid-shard never writes a terminal
+#: state, so age is the only signal that "in flight" is actually
+#: "dead".  Deliberately generous: a slow shard is merely late, a
+#: stale flag is a prompt to investigate (and ``resume``), not an
+#: automatic reset.
+STALE_RUNNING_SECONDS = 30 * 60
 
 #: canonical manifest file name inside a sharded-run directory
 MANIFEST_JSON = "manifest.json"
@@ -112,6 +123,15 @@ _ALLOWED_FROM = {
 
 def _utc_now() -> str:
     return utc_now_iso()
+
+
+def _parse_iso(stamp: str) -> datetime:
+    """Parse a :func:`~repro.util.clock.utc_now_iso` stamp (naive
+    stamps from foreign tools are assumed UTC)."""
+    parsed = datetime.fromisoformat(stamp)
+    if parsed.tzinfo is None:
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return parsed
 
 
 def spec_sha256(spec: ExperimentSpec | dict) -> str:
@@ -160,6 +180,38 @@ class ShardEntry:
             raise ValueError(
                 f"attempts must be >= 0, got {self.attempts}"
             )
+
+    def running_age_seconds(self, now: str | None = None) -> float | None:
+        """How long this shard has been ``running``, in seconds.
+
+        ``None`` unless the shard is in state ``running`` with a
+        recorded ``started_at``.  ``now`` is an ISO-8601 stamp (as
+        from :func:`repro.util.clock.utc_now_iso`); omitted, the
+        current wall clock is used.  Clock skew between hosts can make
+        a just-started shard's age slightly negative; it is clamped
+        to 0.
+        """
+        if self.state != "running" or self.started_at is None:
+            return None
+        started = _parse_iso(self.started_at)
+        current = (
+            _parse_iso(now)
+            if now is not None
+            else datetime.now(timezone.utc)
+        )
+        return max(0.0, (current - started).total_seconds())
+
+    def is_stale(
+        self,
+        now: str | None = None,
+        *,
+        threshold: float = STALE_RUNNING_SECONDS,
+    ) -> bool:
+        """True when this shard has been ``running`` longer than
+        ``threshold`` seconds — likely a dispatcher that died without
+        writing a terminal state."""
+        age = self.running_age_seconds(now)
+        return age is not None and age > threshold
 
 
 @dataclass(frozen=True)
@@ -225,6 +277,21 @@ class RunManifest:
         """Indices a resume must (re-)dispatch: everything not done."""
         return tuple(
             entry.index for entry in self.shards if entry.state != "done"
+        )
+
+    def stale_indices(
+        self,
+        now: str | None = None,
+        *,
+        threshold: float = STALE_RUNNING_SECONDS,
+    ) -> tuple[int, ...]:
+        """Indices of ``running`` shards older than ``threshold``
+        seconds (see :meth:`ShardEntry.is_stale`) — in flight on
+        paper, probably dead in practice."""
+        return tuple(
+            entry.index
+            for entry in self.shards
+            if entry.is_stale(now, threshold=threshold)
         )
 
     def shard_run_dir(self, manifest_path: str | Path, index: int) -> Path:
@@ -361,22 +428,47 @@ class RunManifest:
             ),
         )
 
-    def render(self) -> str:
-        """Human-readable status table (``repro-grid status``)."""
-        rows = [
-            [
+    def render(self, now: str | None = None) -> str:
+        """Human-readable status table (``repro-grid status``).
+
+        ``running`` shards show their age, and those older than
+        :data:`STALE_RUNNING_SECONDS` are marked ``stale?`` — a shard
+        whose dispatcher died never reports a terminal state, so
+        without the age column it would count as in-flight forever.
+        ``now`` pins the clock for tests.
+        """
+        rows = []
+        for entry in self.shards:
+            state = entry.state
+            age = entry.running_age_seconds(now)
+            if age is not None:
+                label = _age_label(age)
+                state = (
+                    f"running ({label}, stale?)"
+                    if entry.is_stale(now)
+                    else f"running ({label})"
+                )
+            rows.append([
                 entry.index,
-                entry.state,
+                state,
                 entry.attempts,
                 f"{entry.n_variants}x{entry.n_seeds}",
                 entry.run_dir,
                 entry.error or "",
-            ]
-            for entry in self.shards
-        ]
+            ])
         counts = self.counts()
         tally = ", ".join(
             f"{counts[s]} {s}" for s in SHARD_STATES if counts[s]
+        )
+        stale = self.stale_indices(now)
+        warning = (
+            "\nwarning: shard(s) "
+            + ", ".join(str(i) for i in stale)
+            + " have been running for over "
+            + f"{STALE_RUNNING_SECONDS // 60} min — the dispatcher "
+            "may have died; `repro-grid resume` re-dispatches them"
+            if stale
+            else ""
         )
         table = render_table(
             ["shard", "state", "attempts", "grid", "run record", "error"],
@@ -388,8 +480,17 @@ class RunManifest:
         )
         return (
             f"{table}\n\n{self.completion:.0%} complete ({tally}); "
-            f"spec sha256 {self.spec_hash[:12]}…"
+            f"spec sha256 {self.spec_hash[:12]}…{warning}"
         )
+
+
+def _age_label(seconds: float) -> str:
+    """A compact human age: ``42s``, ``7m``, ``3h``."""
+    if seconds < 60:
+        return f"{int(seconds)}s"
+    if seconds < 3600:
+        return f"{int(seconds // 60)}m"
+    return f"{int(seconds // 3600)}h"
 
 
 def create_manifest(

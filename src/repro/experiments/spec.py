@@ -40,13 +40,26 @@ from repro.registry import parse_scheduler_ref, scheduler_spec
 
 __all__ = [
     "SPEC_SCHEMA_VERSION",
+    "SpecError",
     "ExperimentSpec",
+    "parse_spec_text",
     "run_spec",
     "save_spec",
     "load_spec",
 ]
 
 SPEC_SCHEMA_VERSION = 1
+
+
+class SpecError(ValueError):
+    """A document that is not a valid :class:`ExperimentSpec`.
+
+    Every malformed-spec failure mode — invalid JSON, a non-object top
+    level, missing or mistyped fields, constraint violations — funnels
+    into this one type with a ``"invalid spec: <reason>"`` message, so
+    the CLI (exit 2) and the HTTP service (422) can diagnose a bad
+    spec uniformly instead of leaking raw tracebacks.
+    """
 
 #: PerformanceReport fields a spec may list as metrics
 _REPORT_METRICS = frozenset(
@@ -179,6 +192,35 @@ class ExperimentSpec:
         return cls.from_dict(json.loads(text))
 
 
+def parse_spec_text(text: str) -> ExperimentSpec:
+    """Parse serialized spec JSON, diagnosing every malformed input.
+
+    The one validation seam the CLI's ``SPEC.json`` paths and the
+    service's ``POST /v1/experiments`` body share: anything that is
+    not a valid spec document raises :class:`SpecError` with a
+    ``"invalid spec: <reason>"`` message — never a raw
+    ``JSONDecodeError``/``TypeError``/``AttributeError`` traceback
+    from deep inside :meth:`ExperimentSpec.from_dict`.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"invalid spec: not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise SpecError(
+            f"invalid spec: top level is {type(data).__name__}, "
+            "expected an object"
+        )
+    try:
+        return ExperimentSpec.from_dict(data)
+    except SpecError:
+        raise
+    except KeyError as exc:
+        raise SpecError(f"invalid spec: missing field {exc}") from None
+    except (ValueError, TypeError, AttributeError) as exc:
+        raise SpecError(f"invalid spec: {exc}") from None
+
+
 def save_spec(spec: ExperimentSpec, path: str | Path) -> Path:
     """Write ``spec`` as JSON at ``path`` (parents created)."""
     path = Path(path)
@@ -188,11 +230,19 @@ def save_spec(spec: ExperimentSpec, path: str | Path) -> Path:
 
 
 def load_spec(path: str | Path) -> ExperimentSpec:
-    """Read a spec written by :func:`save_spec`."""
+    """Read a spec written by :func:`save_spec`.
+
+    A missing file raises ``FileNotFoundError``; any malformed content
+    raises :class:`SpecError` naming the file
+    (``"<path>: invalid spec: <reason>"``) via :func:`parse_spec_text`.
+    """
     path = Path(path)
     if not path.is_file():
         raise FileNotFoundError(f"no experiment spec at {path}")
-    return ExperimentSpec.from_json(path.read_text(encoding="utf-8"))
+    try:
+        return parse_spec_text(path.read_text(encoding="utf-8"))
+    except SpecError as exc:
+        raise SpecError(f"{path}: {exc}") from None
 
 
 def run_spec(

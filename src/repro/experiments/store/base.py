@@ -145,6 +145,15 @@ class RunStore(ABC):
         """
 
     @abstractmethod
+    def payload(self, ref: str) -> str:
+        """The verbatim canonical ``run.json`` payload text for
+        ``ref`` — the bytes ``export_fs`` would write, without a
+        filesystem round trip.  The service's result endpoint serves
+        this directly so HTTP responses are byte-identical to
+        ``repro-grid run`` records.  Raises like :meth:`load`.
+        """
+
+    @abstractmethod
     def delete(self, ref: str) -> None:
         """Remove one record permanently (``KeyError`` if absent)."""
 

@@ -125,6 +125,10 @@ class FsRunStore(RunStore):
             **{**stored.__dict__, "ref": run_dir.name}
         )
 
+    def payload(self, ref: str) -> str:
+        record = self._run_dir(ref) / RUN_JSON
+        return record.read_text(encoding="utf-8")
+
     def delete(self, ref: str) -> None:
         run_dir = self._run_dir(ref)
         # _run_dir only resolves directories holding a run.json, so

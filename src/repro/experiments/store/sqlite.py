@@ -47,7 +47,7 @@ from repro.experiments.store.record import (
 )
 from repro.experiments.sweep import SWEEP_METRICS, SweepResult
 
-__all__ = ["MIGRATIONS", "SqliteRunStore"]
+__all__ = ["MIGRATIONS", "SqliteRunStore", "apply_migrations"]
 
 #: Ordered schema migrations; ``PRAGMA user_version`` == number applied.
 #: Append-only: released entries are immutable history (edit one and
@@ -93,7 +93,78 @@ MIGRATIONS: tuple[tuple[str, tuple[str, ...]], ...] = (
             "CREATE INDEX cells_axes ON cells (variant, scheduler, metric)",
         ),
     ),
+    (
+        "jobs table: the experiment service's persistent job queue",
+        (
+            """
+            CREATE TABLE jobs (
+                id          INTEGER PRIMARY KEY AUTOINCREMENT,
+                name        TEXT NOT NULL,
+                spec        TEXT NOT NULL,
+                spec_sha256 TEXT NOT NULL,
+                state       TEXT NOT NULL DEFAULT 'pending'
+                            CHECK (state IN ('pending', 'running', 'done',
+                                             'failed', 'cancelled')),
+                created_at  TEXT NOT NULL,
+                updated_at  TEXT NOT NULL,
+                started_at  TEXT,
+                finished_at TEXT,
+                error       TEXT,
+                run_ref     TEXT
+            )
+            """,
+            "CREATE INDEX jobs_state ON jobs (state, id)",
+        ),
+    ),
 )
+
+
+def apply_migrations(conn: sqlite3.Connection, path: str | Path) -> None:
+    """Bring ``conn``'s database to schema head (refusing newer files).
+
+    The shared schema-lifecycle routine: :class:`SqliteRunStore` runs
+    it on open, and :class:`repro.service.queue.JobQueue` runs it on
+    its own connection so a service-only open of a fresh database still
+    creates every table.  Each missing migration applies inside its own
+    ``BEGIN IMMEDIATE`` transaction with an under-lock version re-check,
+    so two processes racing to migrate one file serialize — the loser
+    finds the winner's work already applied.  ``path`` is used only for
+    diagnostics.
+    """
+    (version,) = conn.execute("PRAGMA user_version").fetchone()
+    if version > len(MIGRATIONS):
+        raise ValueError(
+            f"{path} is at store schema version {version}, but "
+            f"this tool only knows versions up to {len(MIGRATIONS)}: "
+            "a newer tool is required (refusing to downgrade)"
+        )
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA busy_timeout=15000")
+    conn.execute("PRAGMA foreign_keys=ON")
+    for number, (title, statements) in enumerate(MIGRATIONS, start=1):
+        if number <= version:
+            continue
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            # two processes can race to migrate a fresh database;
+            # BEGIN IMMEDIATE serializes them, so re-check the
+            # version under the write lock — the loser just finds
+            # the winner's work already applied
+            (current,) = conn.execute("PRAGMA user_version").fetchone()
+            if current >= number:
+                conn.execute("COMMIT")
+                continue
+            for statement in statements:
+                conn.execute(statement)
+            # user_version lives in the database header and is
+            # journaled, so the bump commits with the DDL or not
+            # at all
+            # repro: allow[Q1] -- PRAGMA accepts no ? parameters; number is the migration index from enumerate(), never user input
+            conn.execute(f"PRAGMA user_version={number}")
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
 
 
 class SqliteRunStore(RunStore):
@@ -131,42 +202,7 @@ class SqliteRunStore(RunStore):
 
     def _migrate(self) -> None:
         """Bring the database to schema head (refusing newer files)."""
-        (version,) = self._conn.execute("PRAGMA user_version").fetchone()
-        if version > len(MIGRATIONS):
-            raise ValueError(
-                f"{self.path} is at store schema version {version}, but "
-                f"this tool only knows versions up to {len(MIGRATIONS)}: "
-                "a newer tool is required (refusing to downgrade)"
-            )
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA busy_timeout=15000")
-        self._conn.execute("PRAGMA foreign_keys=ON")
-        for number, (title, statements) in enumerate(MIGRATIONS, start=1):
-            if number <= version:
-                continue
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                # two processes can race to migrate a fresh database;
-                # BEGIN IMMEDIATE serializes them, so re-check the
-                # version under the write lock — the loser just finds
-                # the winner's work already applied
-                (current,) = self._conn.execute(
-                    "PRAGMA user_version"
-                ).fetchone()
-                if current >= number:
-                    self._conn.execute("COMMIT")
-                    continue
-                for statement in statements:
-                    self._conn.execute(statement)
-                # user_version lives in the database header and is
-                # journaled, so the bump commits with the DDL or not
-                # at all
-                # repro: allow[Q1] -- PRAGMA accepts no ? parameters; number is the migration index from enumerate(), never user input
-                self._conn.execute(f"PRAGMA user_version={number}")
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
+        apply_migrations(self._conn, self.path)
 
     # -- ref resolution -----------------------------------------------
 
@@ -298,6 +334,13 @@ class SqliteRunStore(RunStore):
         return stored_run_from_payload(
             payload, path=self.path, ref=str(row_id)
         )
+
+    def payload(self, ref: str) -> str:
+        row_id = self._row_id(ref)
+        (text,) = self._conn.execute(
+            "SELECT payload FROM runs WHERE id = ?", (row_id,)
+        ).fetchone()
+        return text
 
     def delete(self, ref: str) -> None:
         row_id = self._row_id(ref)

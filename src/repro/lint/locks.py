@@ -24,4 +24,5 @@ __all__ = ["MIGRATIONS_LOCK"]
 MIGRATIONS_LOCK: tuple[str, ...] = (
     "32b4d717a01a63c5",  # v1: runs table + metadata indexes
     "da345429ce99f5a4",  # v2: cells table for axis queries
+    "d9ebe0c8951ef3d2",  # v3: jobs table, the service's job queue
 )

@@ -46,9 +46,11 @@ __all__ = [
 ]
 
 #: modules whose records/payloads must be pure functions of their
-#: inputs — the D2/D3 blast radius
+#: inputs — the D2/D3 blast radius.  The service tree is in scope:
+#: everything it persists (job rows, run records) must stamp time via
+#: repro.util.clock only, so stored state stays replayable.
 _PAYLOAD_SUFFIXES = ("experiments/spec.py", "metrics/report.py")
-_PAYLOAD_FRAGMENTS = ("/experiments/store/",)
+_PAYLOAD_FRAGMENTS = ("/experiments/store/", "/service/")
 
 
 def _walk_calls(ctx: FileContext) -> Iterator[ast.Call]:
@@ -468,7 +470,9 @@ class SqlHygieneRule(Rule):
         )
 
     def applies(self, ctx: FileContext) -> bool:
-        return ctx.path_endswith("experiments/store/sqlite.py")
+        return ctx.path_endswith(
+            "experiments/store/sqlite.py", "service/queue.py"
+        )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for call in _walk_calls(ctx):

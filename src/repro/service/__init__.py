@@ -1,0 +1,52 @@
+"""The long-lived experiment service: queue, dispatcher, HTTP API.
+
+Everything else in the package is a one-shot CLI invocation; this
+package is the layer that *stays alive* and owns the store — the
+fuzzbench scheduler/measurer split, stdlib-only.  Three pieces:
+
+* :mod:`repro.service.queue` — a persistent job queue as
+  schema-versioned tables inside the SQLite run store (one database
+  file holds both the queue and the results it produces, so a job and
+  its record commit to the same durability domain).
+* :mod:`repro.service.dispatcher` — a background thread that claims
+  ``pending`` jobs under ``BEGIN IMMEDIATE``, executes them through
+  the existing ``shard_spec``/``run_sharded``/manifest machinery with
+  a per-job manifest directory, and saves the merged record into the
+  store.  On startup it re-adopts orphaned ``running`` jobs via
+  ``resume_manifest`` — PR 5's crash-resume guarantee, inherited
+  wholesale: ``kill -9`` the service, restart it, the job finishes.
+* :mod:`repro.service.app` / :mod:`repro.service.server` /
+  :mod:`repro.service.client` — the JSON-over-HTTP surface
+  (``wsgiref``, threading server) and its typed client, used by the
+  ``repro-grid serve`` / ``submit`` / ``jobs`` / ``cancel``
+  subcommands and the tests alike.
+
+The core invariant, enforced by ``tests/test_service.py`` and the CI
+service smoke job: submit → poll → result over HTTP returns a run
+record byte-identical (modulo timing provenance) to a direct
+:func:`~repro.experiments.spec.run_spec` of the same spec — the
+service adds availability, never a different answer.
+
+See ``docs/SERVICE.md`` for the endpoint reference, the queue state
+machine, and restart semantics.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.dispatcher import Dispatcher
+from repro.service.queue import JOB_STATES, Job, JobQueue, JobStateError
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT, serve
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "JOB_STATES",
+    "Dispatcher",
+    "Job",
+    "JobQueue",
+    "JobStateError",
+    "ServiceClient",
+    "ServiceError",
+    "serve",
+]

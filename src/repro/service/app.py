@@ -1,0 +1,359 @@
+"""The WSGI application: the service's JSON-over-HTTP surface.
+
+Endpoints (all JSON unless noted; see ``docs/SERVICE.md`` for
+request/response examples)::
+
+    GET  /healthz                      liveness + schema version
+    POST /v1/experiments               submit a spec -> job (201)
+    GET  /v1/experiments               list jobs
+    GET  /v1/experiments/{id}          one job + shard progress
+    GET  /v1/experiments/{id}/result   the run record, verbatim
+    POST /v1/experiments/{id}/cancel   cancel a pending job
+    GET  /v1/runs                      store summaries
+    GET  /v1/runs/{ref}                one record's payload, verbatim
+    POST /v1/compare                   diff two stored runs
+
+Error envelope: every non-2xx response is ``{"error": "<reason>"}`` —
+a malformed spec body is ``422 {"error": "invalid spec: ..."}`` via
+the same :func:`~repro.experiments.spec.parse_spec_text` helper the
+CLI uses (exit 2 there, 422 here; one validator, two dialects), an
+unknown id/ref is 404, an illegal transition (cancelling a running
+job) is 409 naming the job's actual state.
+
+The two *result* endpoints return the stored payload **text** via
+:meth:`~repro.experiments.store.base.RunStore.payload`, never a
+re-serialization — byte-identity with ``repro-grid run`` records is
+the service's core invariant and re-dumping JSON is where it would
+silently die.
+
+Handlers open a fresh :class:`~repro.service.queue.JobQueue` / store
+per request: ``sqlite3`` connections are single-thread and the server
+is threading, so connection-per-request is the simple correct choice
+(WAL + busy timeout make it cheap enough at this scale).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.manifest import MANIFEST_JSON, load_manifest
+from repro.experiments.spec import SpecError, parse_spec_text
+from repro.experiments.store import (
+    compare_runs,
+    find_regressions,
+    open_store,
+)
+from repro.experiments.store.sqlite import MIGRATIONS
+from repro.service.dispatcher import job_dir
+from repro.service.queue import JobQueue, JobStateError
+
+__all__ = ["ServiceApp"]
+
+#: request bodies larger than this are refused outright (413) — specs
+#: are small documents; anything bigger is a mistake or an attack
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    """Internal control flow: abort the request with this status."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+_STATUS_LINES = {
+    200: "200 OK",
+    201: "201 Created",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    409: "409 Conflict",
+    413: "413 Payload Too Large",
+    422: "422 Unprocessable Entity",
+    500: "500 Internal Server Error",
+}
+
+
+class ServiceApp:
+    """WSGI callable over one service database.
+
+    ``db_path`` is the shared queue+store SQLite file; ``work_dir``
+    the per-job manifest tree (for the progress endpoint).
+    """
+
+    def __init__(self, db_path: str | Path, work_dir: str | Path):
+        self.db_path = Path(db_path)
+        self.work_dir = Path(work_dir)
+
+    # -- WSGI plumbing ------------------------------------------------
+
+    def __call__(self, environ, start_response):
+        try:
+            status, body, content_type = self._dispatch(environ)
+        except _HttpError as exc:
+            status = exc.status
+            body = json.dumps({"error": exc.message}) + "\n"
+            content_type = "application/json"
+        except Exception as exc:  # noqa: BLE001 — a handler bug must
+            # surface as a 500 envelope, never a half-written response
+            status = 500
+            body = json.dumps(
+                {"error": f"{type(exc).__name__}: {exc}"}
+            ) + "\n"
+            content_type = "application/json"
+        payload = body.encode("utf-8")
+        start_response(
+            _STATUS_LINES[status],
+            [
+                ("Content-Type", f"{content_type}; charset=utf-8"),
+                ("Content-Length", str(len(payload))),
+            ],
+        )
+        return [payload]
+
+    def _dispatch(self, environ) -> tuple[int, str, str]:
+        method = environ["REQUEST_METHOD"]
+        path = environ.get("PATH_INFO", "/")
+        parts = [p for p in path.split("/") if p]
+        if parts == ["healthz"]:
+            self._require(method, "GET")
+            return self._json(200, {
+                "status": "ok",
+                "store": f"sqlite:{self.db_path}",
+                "schema_version": len(MIGRATIONS),
+            })
+        if len(parts) >= 2 and parts[0] == "v1":
+            if parts[1] == "experiments":
+                return self._experiments(method, parts[2:], environ)
+            if parts[1] == "runs":
+                return self._runs(method, parts[2:])
+            if parts[1] == "compare" and len(parts) == 2:
+                self._require(method, "POST")
+                return self._compare(environ)
+        raise _HttpError(404, f"no such endpoint: {method} {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(
+                405, f"method {method} not allowed (use {expected})"
+            )
+
+    @staticmethod
+    def _json(status: int, payload: dict) -> tuple[int, str, str]:
+        return (
+            status,
+            json.dumps(payload, indent=1) + "\n",
+            "application/json",
+        )
+
+    @staticmethod
+    def _body(environ) -> str:
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length header") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, f"request body over {MAX_BODY_BYTES} bytes"
+            )
+        raw = environ["wsgi.input"].read(length) if length else b""
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise _HttpError(400, f"body is not UTF-8: {exc}") from None
+
+    @staticmethod
+    def _json_body(environ) -> dict:
+        text = ServiceApp._body(environ)
+        try:
+            data = json.loads(text) if text else {}
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise _HttpError(
+                400,
+                f"body top level is {type(data).__name__}, expected "
+                "an object",
+            )
+        return data
+
+    @staticmethod
+    def _job_id(raw: str) -> int:
+        try:
+            return int(raw)
+        except ValueError:
+            raise _HttpError(404, f"no such job: {raw!r}") from None
+
+    # -- /v1/experiments ----------------------------------------------
+
+    def _experiments(
+        self, method: str, rest: list[str], environ
+    ) -> tuple[int, str, str]:
+        with JobQueue(self.db_path) as queue:
+            if not rest:
+                if method == "POST":
+                    return self._submit(queue, environ)
+                self._require(method, "GET")
+                return self._json(200, {
+                    "jobs": [j.to_dict() for j in queue.list_jobs()]
+                })
+            job_id = self._job_id(rest[0])
+            try:
+                job = queue.get(job_id)
+            except KeyError as exc:
+                raise _HttpError(404, exc.args[0]) from None
+            if len(rest) == 1:
+                self._require(method, "GET")
+                payload = job.to_dict()
+                payload["progress"] = self._progress(job_id)
+                return self._json(200, payload)
+            if rest[1:] == ["result"]:
+                self._require(method, "GET")
+                return self._result(job)
+            if rest[1:] == ["cancel"]:
+                self._require(method, "POST")
+                try:
+                    cancelled = queue.cancel(job_id)
+                except JobStateError as exc:
+                    raise _HttpError(409, str(exc)) from None
+                return self._json(200, cancelled.to_dict())
+        raise _HttpError(
+            404, f"no such endpoint under /v1/experiments/{job_id}"
+        )
+
+    def _submit(self, queue: JobQueue, environ) -> tuple[int, str, str]:
+        text = self._body(environ)
+        try:
+            spec = parse_spec_text(text)
+            # resolve scheduler refs now: a spec naming an unknown
+            # scheduler would otherwise be accepted and fail hours
+            # later inside the dispatcher
+            spec.validate()
+        except SpecError as exc:
+            raise _HttpError(422, str(exc)) from None
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if isinstance(exc, KeyError) else str(exc)
+            raise _HttpError(422, f"invalid spec: {message}") from None
+        job = queue.submit(spec)
+        return self._json(201, job.to_dict())
+
+    def _progress(self, job_id: int) -> dict | None:
+        """Shard-level progress from the job's manifest (None before
+        dispatch writes one).  Includes the stale-shard report: ages
+        of ``running`` shards and which look abandoned."""
+        manifest_path = job_dir(self.work_dir, job_id) / MANIFEST_JSON
+        if not manifest_path.is_file():
+            return None
+        try:
+            manifest = load_manifest(manifest_path)
+        except (OSError, ValueError):
+            return None
+        running = {}
+        for entry in manifest.shards:
+            age = entry.running_age_seconds()
+            if age is not None:
+                running[str(entry.index)] = round(age, 3)
+        return {
+            "n_shards": manifest.n_shards,
+            "counts": manifest.counts(),
+            "completion": manifest.completion,
+            "running_age_seconds": running,
+            "stale": list(manifest.stale_indices()),
+        }
+
+    def _result(self, job) -> tuple[int, str, str]:
+        if job.state != "done":
+            raise _HttpError(
+                409,
+                f"job {job.id} is {job.state!r}, not 'done' — no "
+                "result to serve"
+                + (f" (error: {job.error})" if job.error else ""),
+            )
+        assert job.run_ref is not None
+        with open_store(f"sqlite:{self.db_path}") as store:
+            try:
+                text = store.payload(job.run_ref)
+            except KeyError as exc:
+                raise _HttpError(404, exc.args[0]) from None
+        return (200, text, "application/json")
+
+    # -- /v1/runs -----------------------------------------------------
+
+    def _runs(self, method: str, rest: list[str]) -> tuple[int, str, str]:
+        self._require(method, "GET")
+        with open_store(f"sqlite:{self.db_path}") as store:
+            if not rest:
+                return self._json(200, {
+                    "runs": [
+                        {
+                            "ref": s.ref,
+                            "name": s.name,
+                            "created_at": s.created_at,
+                            "git_sha": s.git_sha,
+                            "n_variants": s.n_variants,
+                            "n_seeds": s.n_seeds,
+                            "n_schedulers": s.n_schedulers,
+                        }
+                        for s in store.list()
+                    ]
+                })
+            if len(rest) == 1:
+                try:
+                    text = store.payload(rest[0])
+                except KeyError as exc:
+                    raise _HttpError(404, exc.args[0]) from None
+                except ValueError as exc:
+                    raise _HttpError(400, str(exc)) from None
+                return (200, text, "application/json")
+        raise _HttpError(404, "no such endpoint under /v1/runs")
+
+    # -- /v1/compare --------------------------------------------------
+
+    def _compare(self, environ) -> tuple[int, str, str]:
+        body = self._json_body(environ)
+        for key in ("baseline", "candidate"):
+            if not isinstance(body.get(key), str):
+                raise _HttpError(
+                    400, f"compare body needs a string {key!r} ref"
+                )
+        threshold = body.get("threshold", 5.0)
+        if not isinstance(threshold, (int, float)) or threshold < 0:
+            raise _HttpError(
+                400, f"threshold must be a number >= 0, got {threshold!r}"
+            )
+        with open_store(f"sqlite:{self.db_path}") as store:
+            try:
+                rows = compare_runs(
+                    body["baseline"], body["candidate"], store=store
+                )
+            except (KeyError, FileNotFoundError) as exc:
+                # over HTTP a ref is a store ref, never a local path —
+                # compare_runs's path fallback missing means 404
+                message = (
+                    exc.args[0] if isinstance(exc, KeyError) else str(exc)
+                )
+                raise _HttpError(404, message) from None
+            except (OSError, ValueError) as exc:
+                raise _HttpError(400, str(exc)) from None
+        regressions = find_regressions(rows, threshold_pct=float(threshold))
+        return self._json(200, {
+            "cells": len(rows),
+            "same": sum(r.verdict == "same" for r in rows),
+            "overlap": sum(r.verdict == "overlap" for r in rows),
+            "diverged": sum(r.verdict == "diverged" for r in rows),
+            "threshold_pct": float(threshold),
+            "regressions": [
+                {
+                    "variant": r.variant,
+                    "scheduler": r.scheduler,
+                    "metric": r.metric,
+                    "mean_a": r.mean_a,
+                    "mean_b": r.mean_b,
+                }
+                for r in regressions
+            ],
+        })

@@ -1,0 +1,170 @@
+"""Typed HTTP client for the experiment service.
+
+The one client everything uses — the ``repro-grid submit`` / ``jobs``
+/ ``cancel`` subcommands, the tests, and the CI smoke job — so the
+CLI and the test suite exercise the exact HTTP surface a remote
+caller would, not a private shortcut.  Stdlib ``urllib`` only.
+
+Non-2xx responses raise :class:`ServiceError` carrying the status and
+the server's ``{"error": ...}`` message; connection failures surface
+as the underlying ``URLError``.  :meth:`ServiceClient.result_text`
+returns the run-record payload *text* untouched — byte-identity with
+``repro-grid run`` records survives the wire only if nobody re-dumps
+the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = ["SERVICE_URL_ENV", "ServiceClient", "ServiceError"]
+
+#: environment variable naming the default service base URL for the
+#: CLI's ``submit`` / ``jobs`` / ``cancel`` subcommands
+SERVICE_URL_ENV = "REPRO_SERVICE_URL"
+
+#: job states that accept no further transition
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Client for one service base URL (``http://host:port``)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: str | None = None
+    ) -> tuple[int, str]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body.encode("utf-8") if body is not None else None,
+            method=method,
+            headers={"Content-Type": "application/json"}
+            if body is not None
+            else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.status, response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            text = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(text)["error"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                message = text.strip() or exc.reason
+            raise ServiceError(exc.code, message) from None
+
+    def _get_json(self, path: str) -> dict:
+        return json.loads(self._request("GET", path)[1])
+
+    def _post_json(self, path: str, body: str | None = None) -> dict:
+        return json.loads(self._request("POST", path, body)[1])
+
+    # -- endpoints ----------------------------------------------------
+
+    def health(self) -> dict:
+        return self._get_json("/healthz")
+
+    def submit(self, spec: ExperimentSpec) -> dict:
+        """POST a spec; returns the created job (state ``pending``)."""
+        return self._post_json("/v1/experiments", spec.to_json())
+
+    def submit_text(self, spec_text: str) -> dict:
+        """POST raw spec JSON text (the CLI path: the file's bytes go
+        over the wire unchanged, and the *server* validates)."""
+        return self._post_json("/v1/experiments", spec_text)
+
+    def jobs(self) -> list[dict]:
+        return self._get_json("/v1/experiments")["jobs"]
+
+    def job(self, job_id: int) -> dict:
+        """One job's row plus shard-level ``progress`` (manifest
+        counts, running-shard ages, likely-stale indices)."""
+        return self._get_json(f"/v1/experiments/{int(job_id)}")
+
+    def cancel(self, job_id: int) -> dict:
+        """Cancel a pending job (409 → :class:`ServiceError` when it
+        is already running or terminal)."""
+        return self._post_json(f"/v1/experiments/{int(job_id)}/cancel")
+
+    def result_text(self, job_id: int) -> str:
+        """The finished job's run record, verbatim payload text."""
+        return self._request(
+            "GET", f"/v1/experiments/{int(job_id)}/result"
+        )[1]
+
+    def result(self, job_id: int) -> dict:
+        """The finished job's run record, parsed."""
+        return json.loads(self.result_text(job_id))
+
+    def runs(self) -> list[dict]:
+        return self._get_json("/v1/runs")["runs"]
+
+    def run_payload(self, ref: str) -> str:
+        """One stored run's verbatim payload text."""
+        return self._request("GET", f"/v1/runs/{ref}")[1]
+
+    def compare(
+        self,
+        baseline: str,
+        candidate: str,
+        *,
+        threshold: float = 5.0,
+    ) -> dict:
+        """Diff two stored runs; the response's ``regressions`` list
+        is the ``--fail-on-regression`` gate's verdict."""
+        return self._post_json(
+            "/v1/compare",
+            json.dumps({
+                "baseline": baseline,
+                "candidate": candidate,
+                "threshold": threshold,
+            }),
+        )
+
+    # -- polling ------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: int,
+        *,
+        timeout: float = 300.0,
+        poll_seconds: float = 0.2,
+    ) -> dict:
+        """Poll until the job reaches a terminal state.
+
+        Returns the final job dict (check ``state`` — ``failed`` and
+        ``cancelled`` are terminal too); raises ``TimeoutError`` if
+        the deadline passes first.  Monotonic clock: wall-clock
+        adjustments cannot stretch or collapse the deadline.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']!r} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll_seconds)

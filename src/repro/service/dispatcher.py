@@ -1,0 +1,182 @@
+"""The background dispatcher: claims jobs, runs them, survives kills.
+
+One daemon thread per service process.  The loop is deliberately dumb:
+adopt orphans, then ``claim → execute → finish/fail`` until stopped —
+all the interesting machinery (deterministic sharding, per-transition
+manifest persistence, retries, resume) is the existing
+:mod:`repro.experiments.dispatch` layer, reused unchanged.  Each job
+executes with its own manifest directory (``job-<id>/`` under the
+service work dir), so a job *is* a PR 5 sharded run and inherits its
+crash-resume guarantee wholesale:
+
+* the service killed mid-job leaves the job row ``running`` and the
+  manifest a consistent snapshot of exactly what completed;
+* on the next startup :meth:`Dispatcher.adopt_orphans` finds every
+  ``running`` job and finishes it via
+  :func:`~repro.experiments.dispatch.resume_manifest` — only the
+  shards that never reached ``done`` are redone, and the merged
+  record is bit-identical to an uninterrupted run.
+
+Thread affinity: ``sqlite3`` connections are single-thread, so the
+dispatcher opens its own :class:`~repro.service.queue.JobQueue` and
+:class:`~repro.experiments.store.RunStore` *inside* the thread; it
+shares only the database file with the HTTP handlers.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from pathlib import Path
+
+from repro.experiments.config import PaperDefaults
+from repro.experiments.dispatch import (
+    resume_manifest,
+    run_sharded,
+)
+from repro.experiments.manifest import MANIFEST_JSON, load_manifest
+from repro.experiments.spec import parse_spec_text
+from repro.experiments.store import open_store
+from repro.service.queue import Job, JobQueue
+
+__all__ = ["Dispatcher", "job_dir"]
+
+
+def job_dir(work_dir: str | Path, job_id: int) -> Path:
+    """Job ``job_id``'s manifest directory under the service work dir.
+
+    A pure function of the id, so the dispatcher, the progress
+    endpoint and a post-mortem operator all find the same
+    ``manifest.json`` without a column recording it.
+    """
+    return Path(work_dir) / f"job-{job_id}"
+
+
+class Dispatcher:
+    """Claims and executes queued jobs on a daemon thread.
+
+    ``db_path`` is the service database (queue + store in one file);
+    ``work_dir`` holds the per-job manifest directories.  ``n_shards``
+    and ``max_workers`` size each job's sharded dispatch
+    (``max_workers=1`` runs shards sequentially in-process — the
+    deterministic tier-1 path); ``max_retries`` is per shard, per
+    dispatch, as in ``repro-grid resume``.
+    """
+
+    def __init__(
+        self,
+        db_path: str | Path,
+        work_dir: str | Path,
+        *,
+        defaults: PaperDefaults = PaperDefaults(),
+        n_shards: int = 2,
+        max_workers: int | None = 1,
+        max_retries: int = 1,
+        poll_seconds: float = 0.2,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.db_path = Path(db_path)
+        self.work_dir = Path(work_dir)
+        self.defaults = defaults
+        self.n_shards = n_shards
+        self.max_workers = max_workers
+        self.max_retries = max_retries
+        self.poll_seconds = poll_seconds
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatch loop (idempotent while running)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-dispatcher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Signal the loop to exit and wait for the thread.
+
+        An in-flight job finishes its current dispatch first — state
+        is persisted after every shard anyway, so even an impatient
+        caller (or a kill) loses nothing but wall-clock time.
+        """
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    # -- the loop -----------------------------------------------------
+
+    def _loop(self) -> None:
+        queue = JobQueue(self.db_path)
+        store = open_store(f"sqlite:{self.db_path}")
+        try:
+            self.adopt_orphans(queue, store)
+            while not self._stop.is_set():
+                job = queue.claim()
+                if job is None:
+                    self._stop.wait(self.poll_seconds)
+                    continue
+                self._execute(job, queue, store)
+        finally:
+            store.close()
+            queue.close()
+
+    def adopt_orphans(self, queue: JobQueue, store) -> None:
+        """Finish every job a dead service left ``running``.
+
+        A job with a manifest on disk resumes (redoing only the shards
+        that never reached ``done``); one killed before its manifest
+        was ever written simply runs from scratch — either way the job
+        reaches a terminal state and its record lands in the store.
+        """
+        for job in queue.list_jobs(state="running"):
+            if self._stop.is_set():
+                return
+            self._execute(job, queue, store, adopted=True)
+
+    def _execute(
+        self, job: Job, queue: JobQueue, store, *, adopted: bool = False
+    ) -> None:
+        manifest_dir = job_dir(self.work_dir, job.id)
+        manifest_path = manifest_dir / MANIFEST_JSON
+        try:
+            spec = parse_spec_text(job.spec_text)
+            if adopted and manifest_path.is_file():
+                manifest, merged = resume_manifest(
+                    manifest_path,
+                    defaults=self.defaults,
+                    max_workers=self.max_workers,
+                    max_retries=self.max_retries,
+                )
+            else:
+                merged = run_sharded(
+                    spec,
+                    self.n_shards,
+                    defaults=self.defaults,
+                    max_workers=self.max_workers,
+                    max_retries=self.max_retries,
+                    manifest_dir=manifest_dir,
+                )
+                manifest = load_manifest(manifest_path)
+            stored = store.save(
+                merged,
+                name=spec.name,
+                merged_from=[
+                    str(manifest.shard_run_dir(manifest_path, i))
+                    for i in range(manifest.n_shards)
+                ],
+                manifest={
+                    "path": str(manifest_path),
+                    "spec_sha256": manifest.spec_hash,
+                },
+            )
+            queue.finish(job.id, stored.ref)
+        except Exception as exc:  # noqa: BLE001 — job isolation: one
+            # bad job must never take down the dispatch loop
+            queue.fail(job.id, f"{type(exc).__name__}: {exc}")
+            traceback.print_exc()

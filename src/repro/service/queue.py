@@ -1,0 +1,309 @@
+"""The persistent job queue: ``jobs`` rows inside the SQLite run store.
+
+A *job* is one submitted :class:`~repro.experiments.spec.ExperimentSpec`
+plus its dispatch state.  Jobs live in the same schema-versioned
+database file as the run records they produce (migration #3 of
+:data:`repro.experiments.store.sqlite.MIGRATIONS`), so the queue gets
+the store's durability properties for free — WAL mode, ``BEGIN
+IMMEDIATE`` write serialization, append-only migrations under the Q1
+lint lock — and a job row can never outlive or predate the database
+holding its result.
+
+State machine
+-------------
+::
+
+    pending ──► running ──► done          (terminal)
+       │           │
+       │           └──────► failed        (terminal)
+       └──► cancelled                     (terminal; pending only —
+                                           a running job is already
+                                           executing, cancel conflicts)
+
+``running`` is *not* proof of life: a service killed mid-job leaves
+the row ``running`` forever.  That is deliberate — on restart the
+dispatcher re-adopts every ``running`` job and finishes it via the
+manifest's crash-resume path, so the orphaned state is the recovery
+signal, not a leak.
+
+Concurrency
+-----------
+Every transition happens inside ``BEGIN IMMEDIATE`` with the current
+state re-checked under the write lock.  :meth:`JobQueue.claim` is the
+critical one: two dispatchers (or a dispatcher racing a cancel) both
+try to move the oldest ``pending`` job; the lock serializes them and
+the loser simply sees the state already changed — a job is never lost
+and never double-run (``tests/test_service.py`` proves it with two
+processes).
+
+``sqlite3`` connections have thread affinity, so each thread owns its
+own :class:`JobQueue` (the dispatcher thread and every HTTP request
+handler open one); they coordinate purely through the database file.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.manifest import spec_sha256
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store.sqlite import apply_migrations
+from repro.util.clock import utc_now_iso
+
+__all__ = ["JOB_STATES", "Job", "JobQueue", "JobStateError"]
+
+#: the job life cycle, in order of progress
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+#: legal transitions: new state -> states it may be entered from
+_ALLOWED_FROM = {
+    "running": ("pending",),
+    "done": ("running",),
+    "failed": ("running",),
+    "cancelled": ("pending",),
+}
+
+_COLUMNS = (
+    "id, name, spec, spec_sha256, state, created_at, updated_at, "
+    "started_at, finished_at, error, run_ref"
+)
+#: whole statements composed once at import time from the constant
+#: column list above, so every execute() call site is a static string
+_SELECT_ONE = f"SELECT {_COLUMNS} FROM jobs WHERE id = ?"
+_SELECT_ALL = f"SELECT {_COLUMNS} FROM jobs ORDER BY id"
+_SELECT_BY_STATE = (
+    f"SELECT {_COLUMNS} FROM jobs WHERE state = ? ORDER BY id"
+)
+
+
+class JobStateError(ValueError):
+    """An illegal job transition (e.g. cancelling a running job).
+
+    Carries the job id and its actual state so the HTTP layer can turn
+    it into a 409 Conflict naming what the job is really doing.
+    """
+
+    def __init__(self, job_id: int, state: str, wanted: str):
+        self.job_id = job_id
+        self.state = state
+        self.wanted = wanted
+        super().__init__(
+            f"job {job_id} is {state!r}, cannot move to {wanted!r} "
+            f"(legal predecessors: {_ALLOWED_FROM[wanted]})"
+        )
+
+
+@dataclass(frozen=True)
+class Job:
+    """One queued experiment: the spec document plus dispatch state.
+
+    ``spec_text`` is the spec's canonical JSON exactly as stored (the
+    dispatcher re-parses it at execution time); ``spec_sha256`` is the
+    canonical-form hash — the same function manifests use — so a
+    submitted spec, its manifest and its job row all agree on
+    identity.  ``run_ref`` names the merged run record in the store
+    once the job is ``done``.
+    """
+
+    id: int
+    name: str
+    spec_text: str
+    spec_sha256: str
+    state: str
+    created_at: str
+    updated_at: str
+    started_at: str | None = None
+    finished_at: str | None = None
+    error: str | None = None
+    run_ref: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload for the HTTP API (spec text omitted —
+        fetch the result, not the input, over the wire)."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "spec_sha256": self.spec_sha256,
+            "state": self.state,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "run_ref": self.run_ref,
+        }
+
+
+def _job(row: tuple) -> Job:
+    return Job(*row)
+
+
+class JobQueue:
+    """The jobs table of one service database, one connection.
+
+    Opening a queue migrates the database to schema head (shared
+    routine with :class:`~repro.experiments.store.sqlite.SqliteRunStore`
+    — a service-only open of a fresh file still creates every table).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # autocommit mode: transactions are explicit BEGIN IMMEDIATE
+        # blocks, same discipline as the run store
+        self._conn = sqlite3.connect(self.path, isolation_level=None)
+        try:
+            apply_migrations(self._conn, self.path)
+        except BaseException:
+            self._conn.close()
+            raise
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- intake -------------------------------------------------------
+
+    def submit(self, spec: ExperimentSpec) -> Job:
+        """Enqueue a spec as a new ``pending`` job.
+
+        The spec is serialized to its canonical JSON once, here; the
+        stored text is what the dispatcher will execute, so what you
+        submitted is what runs — byte for byte.
+        """
+        now = utc_now_iso()
+        text = spec.to_json()
+        digest = spec_sha256(spec)
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = self._conn.execute(
+                """
+                INSERT INTO jobs (name, spec, spec_sha256, state,
+                                  created_at, updated_at)
+                VALUES (?, ?, ?, 'pending', ?, ?)
+                """,
+                (spec.name, text, digest, now, now),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        job_id = cursor.lastrowid
+        assert job_id is not None
+        return self.get(job_id)
+
+    # -- queries ------------------------------------------------------
+
+    def get(self, job_id: int) -> Job:
+        """The job row for ``job_id`` (``KeyError`` if absent)."""
+        row = self._conn.execute(
+            _SELECT_ONE, (int(job_id),)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no job {job_id} in {self.path}")
+        return _job(row)
+
+    def list_jobs(self, state: str | None = None) -> list[Job]:
+        """All jobs oldest-first, optionally filtered by state."""
+        if state is not None and state not in JOB_STATES:
+            raise ValueError(
+                f"unknown job state {state!r}; choose from {JOB_STATES}"
+            )
+        if state is None:
+            rows = self._conn.execute(_SELECT_ALL)
+        else:
+            rows = self._conn.execute(_SELECT_BY_STATE, (state,))
+        return [_job(row) for row in rows]
+
+    # -- transitions --------------------------------------------------
+
+    def claim(self) -> Job | None:
+        """Atomically move the oldest ``pending`` job to ``running``.
+
+        The dispatcher's intake: ``BEGIN IMMEDIATE`` takes the write
+        lock *before* selecting, so two dispatchers — or a dispatcher
+        racing a concurrent submit or cancel — serialize here; each
+        pending job is claimed exactly once.  Returns ``None`` when
+        the queue has no pending work.
+        """
+        now = utc_now_iso()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT id FROM jobs WHERE state = 'pending' "
+                "ORDER BY id LIMIT 1"
+            ).fetchone()
+            if row is None:
+                self._conn.execute("COMMIT")
+                return None
+            (job_id,) = row
+            self._conn.execute(
+                "UPDATE jobs SET state = 'running', started_at = ?, "
+                "updated_at = ? WHERE id = ?",
+                (now, now, job_id),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return self.get(job_id)
+
+    def finish(self, job_id: int, run_ref: str) -> Job:
+        """``running`` → ``done``, recording the stored run's ref."""
+        return self._terminal(job_id, "done", run_ref=run_ref)
+
+    def fail(self, job_id: int, error: str) -> Job:
+        """``running`` → ``failed``, recording the captured error."""
+        return self._terminal(job_id, "failed", error=error)
+
+    def cancel(self, job_id: int) -> Job:
+        """``pending`` → ``cancelled``.
+
+        Only a job the dispatcher has not claimed can be cancelled —
+        a ``running`` job is already executing (and a terminal one is
+        history); both raise :class:`JobStateError`, which the HTTP
+        layer maps to 409 Conflict.  The ``BEGIN IMMEDIATE`` check
+        makes cancel-vs-claim a clean race: exactly one side wins.
+        """
+        return self._terminal(job_id, "cancelled")
+
+    def _terminal(
+        self,
+        job_id: int,
+        state: str,
+        *,
+        run_ref: str | None = None,
+        error: str | None = None,
+    ) -> Job:
+        now = utc_now_iso()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT state FROM jobs WHERE id = ?", (int(job_id),)
+            ).fetchone()
+            if row is None:
+                self._conn.execute("COMMIT")
+                raise KeyError(f"no job {job_id} in {self.path}")
+            (current,) = row
+            if current not in _ALLOWED_FROM[state]:
+                self._conn.execute("COMMIT")
+                raise JobStateError(int(job_id), current, state)
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, "
+                "updated_at = ?, run_ref = ?, error = ? WHERE id = ?",
+                (state, now, now, run_ref, error, int(job_id)),
+            )
+            self._conn.execute("COMMIT")
+        except (KeyError, JobStateError):
+            raise
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return self.get(job_id)

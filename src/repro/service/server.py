@@ -1,0 +1,119 @@
+"""The HTTP server: threading wsgiref around the app + dispatcher.
+
+``serve()`` is what ``repro-grid serve`` calls: it opens (creating if
+needed) the service database, starts the background
+:class:`~repro.service.dispatcher.Dispatcher`, and serves the
+:class:`~repro.service.app.ServiceApp` until interrupted.  Stdlib
+only — ``wsgiref.simple_server`` with ``socketserver.ThreadingMixIn``
+so a long-polling client cannot starve the health check.
+
+Port 0 binds an ephemeral port; the *bound* address is always printed
+as ``listening on http://HOST:PORT`` (flushed), which is the line the
+tests and the CI smoke job parse to find the server.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from socketserver import ThreadingMixIn
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer
+
+from repro.experiments.config import PaperDefaults
+from repro.service.app import ServiceApp
+from repro.service.dispatcher import Dispatcher
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "make_server",
+    "serve",
+    "work_dir_for",
+]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8750
+
+
+class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """One thread per request, none of them blocking shutdown."""
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Request log on stderr (stdout is the service's own protocol:
+    the ``listening on …`` line must stay parseable)."""
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib name
+        sys.stderr.write(
+            "%s - %s\n" % (self.address_string(), format % args)
+        )
+
+
+def work_dir_for(db_path: str | Path) -> Path:
+    """The per-job manifest tree for a service database: a sibling
+    directory named ``<db>.jobs`` — next to the data it belongs to,
+    and derivable by every process that knows the database path."""
+    db_path = Path(db_path)
+    return db_path.parent / (db_path.name + ".jobs")
+
+
+def make_server(
+    db_path: str | Path,
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> WSGIServer:
+    """A bound (not yet serving) server for the service app.
+
+    Split out from :func:`serve` so tests can bind port 0, read the
+    real port from ``server_address``, and drive requests in-process.
+    """
+    app = ServiceApp(db_path, work_dir_for(db_path))
+    server = _ThreadingWSGIServer((host, port), _QuietHandler)
+    server.set_app(app)
+    return server
+
+
+def serve(
+    db_path: str | Path,
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    defaults: PaperDefaults = PaperDefaults(),
+    n_shards: int = 2,
+    max_workers: int | None = 1,
+    max_retries: int = 1,
+) -> int:
+    """Run the service until interrupted; returns a process exit code.
+
+    Startup order matters: the dispatcher starts *before* the listener
+    so orphaned ``running`` jobs from a killed predecessor begin
+    resuming even if no client ever connects.
+    """
+    dispatcher = Dispatcher(
+        db_path,
+        work_dir_for(db_path),
+        defaults=defaults,
+        n_shards=n_shards,
+        max_workers=max_workers,
+        max_retries=max_retries,
+    )
+    dispatcher.start()
+    server = make_server(db_path, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"listening on http://{bound_host}:{bound_port}", flush=True)
+    print(
+        f"store sqlite:{db_path}; job manifests under "
+        f"{work_dir_for(db_path)}",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        dispatcher.stop()
+    return 0

@@ -184,7 +184,7 @@ class TestSpecCommands:
         bad = tmp_path / "bad.json"
         bad.write_text('{"schema_version": 99}')
         assert main(["run", str(bad)]) == 2
-        assert "bad experiment spec" in capsys.readouterr().err
+        assert "invalid spec" in capsys.readouterr().err
 
     def test_run_duplicate_report_names_exit_2(self, capsys, tmp_path):
         # two refs that build distinct schedulers with one report name
@@ -385,7 +385,7 @@ class TestShardMergeCommands:
             "merge", str(tmp_path / "r"),
             "--spec", str(bad), "--out", str(tmp_path / "m"),
         ]) == 2
-        assert "bad experiment spec" in capsys.readouterr().err
+        assert "invalid spec" in capsys.readouterr().err
 
 
 class TestRegressionGate:
@@ -849,3 +849,71 @@ class TestRunsStore:
         assert "saved merged run record to 1 in sqlite:" in out
         assert main(["runs", "list", "--store", uri]) == 0
         assert "2 seed(s)" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    """Argument validation for serve/submit/jobs/cancel — everything
+    that must fail before (or without) a running service.  The live
+    service paths are covered by tests/test_service.py."""
+
+    def test_serve_refuses_fs_store(self, capsys, tmp_path):
+        assert main(["serve", "--store", f"fs:{tmp_path}"]) == 2
+        assert "sqlite store" in capsys.readouterr().err
+
+    def test_serve_refuses_bad_uri(self, capsys):
+        assert main(["serve", "--store", "redis:nope"]) == 2
+        assert "unknown store backend" in capsys.readouterr().err
+
+    def test_serve_refuses_bad_port(self, capsys, tmp_path):
+        db = str(tmp_path / "svc.db")
+        assert main([
+            "serve", "--store", f"sqlite:{db}", "--port", "70000",
+        ]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_serve_refuses_bad_max_workers(self, capsys, tmp_path):
+        db = str(tmp_path / "svc.db")
+        assert main([
+            "serve", "--store", f"sqlite:{db}", "--max-workers", "0",
+        ]) == 2
+        assert "--max-workers" in capsys.readouterr().err
+
+    def test_submit_missing_spec_file(self, capsys, tmp_path):
+        assert main(["submit", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert "SPEC.json" in err and "no such file" in err
+
+    def test_submit_invalid_spec_exits_2_before_network(
+        self, capsys, tmp_path
+    ):
+        # local validation: a malformed spec never earns a connection
+        # attempt (the URL below has nothing listening)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema_version": 99}')
+        assert main([
+            "submit", str(bad), "--url", "http://127.0.0.1:9",
+        ]) == 2
+        assert "invalid spec" in capsys.readouterr().err
+
+    def test_submit_bad_timeout(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text("{}")
+        assert main([
+            "submit", str(spec), "--wait", "--timeout", "0",
+        ]) == 2
+        assert "--timeout" in capsys.readouterr().err
+
+    def test_unreachable_service_exits_1(self, capsys, tmp_path):
+        # discard port 9: reserved, nothing listens in test envs
+        url = "http://127.0.0.1:9"
+        spec_file = str(tmp_path / "spec.json")
+        assert main([
+            "emit-spec", "fig7a", "--scale", "0.002", "--out", spec_file,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["submit", spec_file, "--url", url]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+        assert main(["jobs", "--url", url]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+        assert main(["cancel", "1", "--url", url]) == 1
+        assert "cannot reach" in capsys.readouterr().err

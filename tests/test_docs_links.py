@@ -88,6 +88,7 @@ def test_architecture_doc_names_every_layer():
         "repro.metrics",
         "repro.registry",
         "repro.experiments",
+        "repro.service",
         "repro.lint",
     ):
         assert layer in doc, f"ARCHITECTURE.md does not mention {layer}"

@@ -625,3 +625,68 @@ class TestPartialMerge:
                 variants_order=("psa-a", "psa-a", "psa-b"),
                 allow_partial=True,
             )
+
+
+class TestStaleShards:
+    """The stale-running-shard report: `running` is not proof of life,
+    so ages past STALE_RUNNING_SECONDS are flagged in render()/status
+    (and the service progress endpoint)."""
+
+    NOW = "2026-08-08T12:00:00+00:00"
+
+    def _running_since(self, fresh_manifest, stamp):
+        m = fresh_manifest.with_shard(0, "running")
+        entry = replace(m.shard(0), started_at=stamp)
+        return replace(m, shards=(entry,) + m.shards[1:])
+
+    def test_age_none_unless_running_with_start(self, fresh_manifest):
+        assert fresh_manifest.shard(0).running_age_seconds() is None
+        done = fresh_manifest.with_shard(0, "running").with_shard(0, "done")
+        assert done.shard(0).running_age_seconds() is None
+
+    def test_age_measures_since_start(self, fresh_manifest):
+        m = self._running_since(fresh_manifest, "2026-08-08T11:53:00+00:00")
+        assert m.shard(0).running_age_seconds(self.NOW) == 420.0
+        assert not m.shard(0).is_stale(self.NOW)
+
+    def test_clock_skew_clamps_to_zero(self, fresh_manifest):
+        m = self._running_since(fresh_manifest, "2026-08-08T12:00:05+00:00")
+        assert m.shard(0).running_age_seconds(self.NOW) == 0.0
+
+    def test_naive_stamp_assumed_utc(self, fresh_manifest):
+        m = self._running_since(fresh_manifest, "2026-08-08T11:59:00")
+        assert m.shard(0).running_age_seconds(self.NOW) == 60.0
+
+    def test_stale_past_threshold(self, fresh_manifest):
+        from repro.experiments.manifest import STALE_RUNNING_SECONDS
+
+        m = self._running_since(fresh_manifest, "2026-08-08T11:00:00+00:00")
+        assert m.shard(0).running_age_seconds(self.NOW) == 3600.0
+        assert 3600.0 > STALE_RUNNING_SECONDS
+        assert m.shard(0).is_stale(self.NOW)
+        assert m.stale_indices(self.NOW) == (0,)
+        # a custom threshold overrides the default
+        assert m.stale_indices(self.NOW, threshold=4000) == ()
+
+    def test_render_shows_age_and_stale_warning(self, fresh_manifest):
+        fresh = self._running_since(
+            fresh_manifest, "2026-08-08T11:53:00+00:00"
+        ).render(self.NOW)
+        assert "running (7m)" in fresh
+        assert "stale" not in fresh
+        old = self._running_since(
+            fresh_manifest, "2026-08-08T09:00:00+00:00"
+        ).render(self.NOW)
+        assert "running (3h, stale?)" in old
+        assert "warning: shard(s) 0 have been running" in old
+
+    def test_live_dispatch_reports_fresh_age(self, tmp_path):
+        # an actually-running transition stamps started_at with the
+        # real clock, so the age is tiny and nothing is stale
+        shards = shard_spec(SPEC, 2)
+        m = create_manifest(SPEC, shards, strategy="auto").with_shard(
+            0, "running"
+        )
+        age = m.shard(0).running_age_seconds()
+        assert age is not None and age < 60
+        assert m.stale_indices() == ()
