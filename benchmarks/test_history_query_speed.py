@@ -101,6 +101,20 @@ def test_vectorized_query_beats_loop_at_capacity_150():
     assert speedup > 2.0, f"vectorized query only {speedup:.2f}x faster"
 
 
+def test_query_returns_stored_arrays_without_copying():
+    """The last per-match allocation: query used to ``.copy()`` every
+    returned assignment (up to ``max_results`` copies per scheduling
+    event).  Pin the fix — results ARE the stored arrays, frozen
+    read-only so callers cannot corrupt the table through them."""
+    table, ready, etc, sds = full_table()
+    results = table.query(ready, etc, sds)
+    assert len(results) > CAPACITY // 2
+    stored = {id(e.assignment) for e in table._entries.values()}
+    for out in results:
+        assert id(out) in stored, "query copied an assignment"
+        assert not out.flags.writeable
+
+
 def test_stacks_survive_match_heavy_churn():
     """At capacity, an evict+insert of matching shape overwrites the
     victim's row in place: the cached stack arrays must stay the *same

@@ -14,7 +14,45 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["EligibleSites", "random_population", "repair_population"]
+__all__ = [
+    "EligibleSites",
+    "check_population",
+    "random_population",
+    "repair_population",
+]
+
+
+def check_population(
+    population: np.ndarray,
+    n_sites: int | None = None,
+    *,
+    context: str = "population",
+) -> np.ndarray:
+    """Validate a population array up front, with a readable error.
+
+    Checks that ``population`` is a 2-D integer array and — when
+    ``n_sites`` is given — that every gene is a site index in
+    ``[0, n_sites)``.  Without this, a float or out-of-range population
+    either gets silently truncated by an ``astype`` or blows up deep
+    inside ``bincount`` with an opaque numpy message.  ``context``
+    names the caller in the error.  Returns ``population`` unchanged.
+    """
+    pop = np.asarray(population)
+    if pop.ndim != 2:
+        raise ValueError(f"{context}: population must be (P, B), got shape {pop.shape}")
+    if not np.issubdtype(pop.dtype, np.integer):
+        raise TypeError(
+            f"{context}: population dtype must be an integer type "
+            f"(site indices), got {pop.dtype}"
+        )
+    if n_sites is not None and pop.size:
+        lo, hi = int(pop.min()), int(pop.max())
+        if lo < 0 or hi >= n_sites:
+            raise ValueError(
+                f"{context}: population contains site indices outside "
+                f"[0, {n_sites}): min={lo}, max={hi}"
+            )
+    return population
 
 
 @dataclass(frozen=True)

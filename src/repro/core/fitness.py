@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.chromosome import check_population
 from repro.grid.security import DEFAULT_LAMBDA, failure_probability
 
 __all__ = [
     "population_makespan",
     "population_fitness",
+    "FitnessWorkspace",
     "assignment_makespan",
     "expected_etc",
 ]
@@ -77,11 +79,10 @@ def population_fitness(
     """
     if flow_weight < 0:
         raise ValueError(f"flow_weight must be non-negative, got {flow_weight}")
+    check_population(population, context="population_fitness")
     pop = np.asarray(population, dtype=np.int64)
     etc = np.asarray(etc, dtype=float)
     ready = np.asarray(ready, dtype=float)
-    if pop.ndim != 2:
-        raise ValueError(f"population must be (P, B), got shape {pop.shape}")
     p, b = pop.shape
     s = etc.shape[1]
     if etc.shape[0] != b or ready.shape != (s,):
@@ -89,8 +90,7 @@ def population_fitness(
             f"incompatible shapes: pop {pop.shape}, etc {etc.shape}, "
             f"ready {ready.shape}"
         )
-    if (pop < 0).any() or (pop >= s).any():
-        raise ValueError("population contains site indices outside [0, S)")
+    check_population(pop, s, context="population_fitness")
 
     weights = etc[np.arange(b)[None, :], pop]
     flat = (pop + (np.arange(p)[:, None] * s)).ravel()
@@ -103,6 +103,101 @@ def population_fitness(
         return makespan
     per_job = ready[pop] + weights  # (P, B) backlog-relative completions
     return makespan + flow_weight * per_job.mean(axis=1)
+
+
+class FitnessWorkspace:
+    """Preallocated, bit-identical fitness evaluator for hot loops.
+
+    :func:`population_fitness` re-derives gather indices, re-validates,
+    and runs a second *counting* ``bincount`` just to know which sites
+    are occupied — fine for one call, wasteful for the thousands of
+    generation steps a scheduling decision makes with the **same**
+    ``etc``/``ready``/``flow_weight``.  The workspace hoists everything
+    batch-constant out of the loop and reuses scratch buffers across
+    calls, while performing the same floating-point operations in the
+    same order, so ``evaluate(pop)`` returns the bit-exact value of
+    ``population_fitness(pop, etc, ready, flow_weight=...)``.
+
+    The occupancy shortcut: when every execution time is positive
+    (checked once at construction), a site is occupied iff its summed
+    load is positive, so the counting ``bincount`` can be replaced by
+    ``loads > 0``.  With any zero entries in ``etc`` the workspace
+    falls back to the counting ``bincount``.
+
+    ``evaluate`` assumes a validated integer population with genes in
+    ``[0, n_sites)`` — the GA loop guarantees this because every gene
+    comes from an :class:`~repro.core.chromosome.EligibleSites` lookup;
+    external entry points validate via :func:`population_fitness`.
+    """
+
+    def __init__(
+        self,
+        etc: np.ndarray,
+        ready: np.ndarray,
+        *,
+        flow_weight: float = 0.0,
+    ) -> None:
+        if flow_weight < 0:
+            raise ValueError(f"flow_weight must be non-negative, got {flow_weight}")
+        self.etc = np.ascontiguousarray(etc, dtype=float)
+        self.ready = np.asarray(ready, dtype=float)
+        self.flow_weight = float(flow_weight)
+        if self.etc.ndim != 2 or self.ready.shape != (self.etc.shape[1],):
+            raise ValueError(
+                f"incompatible shapes: etc {self.etc.shape}, "
+                f"ready {self.ready.shape}"
+            )
+        self.n_jobs, self.n_sites = self.etc.shape
+        self._etc_flat = self.etc.ravel()
+        #: start of job j's row in the flattened etc
+        self._job_offsets = np.arange(self.n_jobs, dtype=np.int64) * self.n_sites
+        self._all_positive = bool((self.etc > 0).all())
+        self._p = -1  # scratch buffers are sized on first evaluate
+
+    def _ensure_buffers(self, p: int) -> None:
+        if p == self._p:
+            return
+        self._p = p
+        b = self.n_jobs
+        self._idx = np.empty((p, b), dtype=np.int64)
+        self._weights = np.empty((p, b), dtype=float)
+        self._row_offsets = (np.arange(p, dtype=np.int64) * self.n_sites)[:, None]
+        self._empty_sites = np.empty((p, self.n_sites), dtype=bool)
+        self._per_job = np.empty((p, b), dtype=float) if self.flow_weight else None
+
+    def evaluate(self, population: np.ndarray) -> np.ndarray:
+        """Fitness of every chromosome; shape (P,).  Allocates only the
+        returned array and the ``bincount`` result."""
+        pop = population
+        p, s = pop.shape[0], self.n_sites
+        self._ensure_buffers(p)
+        idx, weights = self._idx, self._weights
+        # weights[i, j] = etc[j, pop[i, j]] — same gather as the fancy
+        # index in population_fitness, via the flattened etc.
+        np.add(pop, self._job_offsets, out=idx)
+        np.take(self._etc_flat, idx, out=weights)
+        # per-(chromosome, site) bin index, reusing the idx buffer
+        np.add(pop, self._row_offsets, out=idx)
+        flat = idx.ravel()
+        loads = np.bincount(flat, weights=weights.ravel(), minlength=p * s)
+        loads = loads.reshape(p, s)
+        empty = self._empty_sites
+        if self._all_positive:
+            # all etc > 0 → a site's summed load is 0 iff no job hit it,
+            # sparing the counting bincount the reference needs.
+            np.less_equal(loads, 0.0, out=empty)
+        else:
+            counts = np.bincount(flat, minlength=p * s).reshape(p, s)
+            np.equal(counts, 0, out=empty)
+        loads += self.ready[None, :]  # loads is now the completion matrix
+        np.copyto(loads, -np.inf, where=empty)
+        makespan = loads.max(axis=1)
+        if self.flow_weight == 0.0:
+            return makespan
+        per_job = self._per_job
+        np.take(self.ready, pop, out=per_job)
+        per_job += weights
+        return makespan + self.flow_weight * per_job.mean(axis=1)
 
 
 def assignment_makespan(

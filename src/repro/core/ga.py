@@ -7,6 +7,14 @@ crossover, per-gene mutation, elitism) and returns the best assignment
 found.  The STGA differs from the conventional GA *only* in the
 ``initial`` population it passes in — that is the paper's entire
 "time" dimension — so both schedulers share this module.
+
+The generation step runs on one of two backends (see
+:mod:`repro.util.backend`): ``"reference"`` chains the four copying
+operators, ``"fast"`` ping-pongs two preallocated buffers through the
+fused in-place kernels and a :class:`~repro.core.fitness.FitnessWorkspace`.
+Both consume the RNG identically and return bit-identical results at a
+fixed seed; everything outside the step (seeding, elitism snapshots,
+best tracking, stall logic) is shared code.
 """
 
 from __future__ import annotations
@@ -21,13 +29,18 @@ from repro.core.chromosome import (
     random_population,
     repair_population,
 )
-from repro.core.fitness import population_fitness
+from repro.core.fitness import FitnessWorkspace, population_fitness
 from repro.core.operators import (
     apply_elitism,
+    fast_crossover_inplace,
+    fast_elitism_inplace,
+    fast_mutate_inplace,
+    fast_roulette_select_into,
     mutate,
     roulette_select,
     single_point_crossover,
 )
+from repro.util.backend import FAST_BACKEND, resolve_backend
 from repro.util.validation import check_probability
 
 __all__ = ["GAConfig", "GAResult", "evolve"]
@@ -99,6 +112,7 @@ def evolve(
     initial: np.ndarray | None = None,
     track_history: bool = False,
     strict_seeds: bool = False,
+    backend: str | None = None,
 ) -> GAResult:
     """Run the generational GA and return the best assignment.
 
@@ -128,7 +142,12 @@ def evolve(
     strict_seeds:
         Raise :class:`ValueError` instead of warning when ``initial``
         holds more chromosomes than the population can take.
+    backend:
+        ``"reference"`` / ``"fast"`` / None (= ``$REPRO_BACKEND`` or
+        reference).  Bit-identical results either way; see
+        :mod:`repro.util.backend`.
     """
+    backend = resolve_backend(backend)
     etc = np.asarray(etc, dtype=float)
     ready = np.asarray(ready, dtype=float)
     b = etc.shape[0]
@@ -172,6 +191,12 @@ def evolve(
     initial_fit = best_fit
     history = [best_fit] if track_history else None
 
+    fast = backend == FAST_BACKEND
+    if fast and config.generations > 0:
+        ws = FitnessWorkspace(etc, ready, flow_weight=config.flow_weight)
+        pop = np.ascontiguousarray(pop, dtype=np.int64)
+        buf = np.empty_like(pop)
+
     stall = 0
     gens_run = 0
     for _ in range(config.generations):
@@ -180,13 +205,21 @@ def evolve(
         elites = pop[elite_idx].copy()
         elite_fit = fit[elite_idx].copy()
 
-        pop = roulette_select(pop, fit, rng)
-        pop = single_point_crossover(pop, config.crossover_prob, rng)
-        pop = mutate(pop, sites, config.mutation_prob, rng)
-        fit = population_fitness(
-            pop, etc, ready, flow_weight=config.flow_weight
-        )
-        pop, fit = apply_elitism(pop, fit, elites, elite_fit)
+        if fast:
+            fast_roulette_select_into(pop, fit, rng, out=buf)
+            pop, buf = buf, pop  # ping-pong: buf now holds the old pop
+            fast_crossover_inplace(pop, config.crossover_prob, rng)
+            fast_mutate_inplace(pop, sites, config.mutation_prob, rng)
+            fit = ws.evaluate(pop)
+            pop, fit = fast_elitism_inplace(pop, fit, elites, elite_fit)
+        else:
+            pop = roulette_select(pop, fit, rng)
+            pop = single_point_crossover(pop, config.crossover_prob, rng)
+            pop = mutate(pop, sites, config.mutation_prob, rng)
+            fit = population_fitness(
+                pop, etc, ready, flow_weight=config.flow_weight
+            )
+            pop, fit = apply_elitism(pop, fit, elites, elite_fit)
 
         gen_best = int(np.argmin(fit))
         if fit[gen_best] < best_fit:

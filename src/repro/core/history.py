@@ -171,11 +171,16 @@ class HistoryTable:
     def insert(self, ready, etc, security_demands, assignment) -> None:
         """Store a batch and its committed schedule, evicting if full."""
         etc = np.array(etc, dtype=float, copy=True)
+        stored = np.array(assignment, dtype=np.int64, copy=True)
+        # Queries hand this array out directly (no per-match copy), so
+        # freeze it — a caller mutating a result cannot corrupt the
+        # table, it gets a ValueError instead.
+        stored.setflags(write=False)
         entry = HistoryEntry(
             ready=np.array(ready, dtype=float, copy=True),
             etc=etc,
             security_demands=np.array(security_demands, dtype=float, copy=True),
-            assignment=np.array(assignment, dtype=np.int64, copy=True),
+            assignment=stored,
         )
         if entry.assignment.shape[0] != etc.shape[0]:
             raise ValueError(
@@ -215,7 +220,11 @@ class HistoryTable:
         """Schedules of matching entries, best-similarity first.
 
         A match refreshes the entry's LRU position (unless eviction is
-        FIFO).  Returns copies — callers may mutate freely.
+        FIFO).  Returns the stored arrays themselves, marked read-only
+        — copy before mutating.  (The per-match ``.copy()`` this
+        replaces was the last allocation scaling with the hit count on
+        the scheduling hot path; see
+        ``benchmarks/test_history_query_speed.py``.)
         """
         etc = np.asarray(etc, dtype=float)
         ready = np.asarray(ready, dtype=float)
@@ -248,7 +257,7 @@ class HistoryTable:
         for _, key in scored:
             if self.eviction == "lru":
                 self._entries.move_to_end(key)
-            results.append(self._entries[key].assignment.copy())
+            results.append(self._entries[key].assignment)
         return results
 
     def _drop_from_block(self, key: int, entry: HistoryEntry) -> None:

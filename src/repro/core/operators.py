@@ -13,13 +13,24 @@
   children, guaranteeing monotone best-so-far fitness.
 
 Everything is vectorised over the population.
+
+Each operator ships in two forms: the reference implementation
+(`roulette_select` / `single_point_crossover` / `mutate` /
+`apply_elitism`) and a fused ``fast_*`` counterpart used by the
+``"fast"`` backend (see :mod:`repro.util.backend`).  The fast kernels
+write into caller-provided buffers or in place instead of copying the
+population three times per generation, but they draw from the RNG in
+**exactly the same order and sizes** as the reference — so at a fixed
+seed the two paths produce bit-identical populations, generation by
+generation.  ``tests/test_backend_parity.py`` enforces both the output
+equality and the RNG-stream equivalence.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.chromosome import EligibleSites
+from repro.core.chromosome import EligibleSites, check_population
 
 __all__ = [
     "selection_weights",
@@ -27,6 +38,10 @@ __all__ = [
     "single_point_crossover",
     "mutate",
     "apply_elitism",
+    "fast_roulette_select_into",
+    "fast_crossover_inplace",
+    "fast_mutate_inplace",
+    "fast_elitism_inplace",
 ]
 
 #: floor weight as a fraction of the fitness span, keeps the wheel
@@ -54,6 +69,7 @@ def roulette_select(
 ) -> np.ndarray:
     """Sample a new (P, B) population with replacement from the wheel."""
     pop = np.asarray(population)
+    check_population(pop, context="roulette_select")
     probs = selection_weights(fitness)
     idx = rng.choice(pop.shape[0], size=pop.shape[0], p=probs)
     return pop[idx]
@@ -69,6 +85,7 @@ def single_point_crossover(
     length 1 cannot cross and are returned unchanged.
     """
     pop = np.array(population, copy=True)
+    check_population(pop, context="single_point_crossover")
     p, b = pop.shape
     if b < 2 or p < 2 or prob <= 0:
         return pop
@@ -93,6 +110,7 @@ def mutate(
 ) -> np.ndarray:
     """Per-gene mutation: resample an eligible site with prob ``prob``."""
     pop = np.array(population, copy=True)
+    check_population(pop, context="mutate")
     if prob <= 0:
         return pop
     mask = rng.random(pop.shape) < prob
@@ -123,3 +141,104 @@ def apply_elitism(
     pop[worst] = elites
     fit[worst] = elite_fitness
     return pop, fit
+
+
+# ----------------------------------------------------------------------
+# Fast-backend kernels.  Each is the RNG-stream-equivalent twin of the
+# reference operator above: identical draws (same calls, same sizes,
+# same order), identical output values — only the allocation strategy
+# differs (caller-provided buffers / in-place mutation instead of a
+# fresh copy per operator).  The parity suite diffs them generation by
+# generation; any divergence is a bug here, never "numerical noise".
+
+
+def fast_roulette_select_into(
+    population: np.ndarray,
+    fitness: np.ndarray,
+    rng: np.random.Generator,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Roulette selection writing the new population into ``out``.
+
+    Replicates ``rng.choice(P, size=P, p=probs)`` without its per-call
+    validation and allocation overhead: ``Generator.choice`` with
+    probabilities draws ``rng.random(P)`` and inverts the CDF with a
+    right-sided ``searchsorted`` — doing exactly that here keeps both
+    the consumed stream and the selected indices bit-identical.
+    ``out`` must not alias ``population``.
+    """
+    probs = selection_weights(fitness)
+    cdf = np.cumsum(probs)
+    cdf /= cdf[-1]
+    idx = cdf.searchsorted(rng.random(population.shape[0]), side="right")
+    np.take(population, idx, axis=0, out=out)
+    return out
+
+
+def fast_crossover_inplace(
+    population: np.ndarray, prob: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Single-point tail swap of adjacent pairs, in place.
+
+    Same draws as :func:`single_point_crossover`; the tail exchange is
+    an XOR swap on the integer genes (`a ^= d; c ^= d` with
+    ``d = (a ^ c) * tail``), which is exact for integers and avoids
+    the two full-population ``np.where`` temporaries.
+    """
+    p, b = population.shape
+    if b < 2 or p < 2 or prob <= 0:
+        return population
+    n_pairs = p // 2
+    a = population[0 : 2 * n_pairs : 2]
+    c = population[1 : 2 * n_pairs : 2]
+    crossing = rng.random(n_pairs) < prob
+    points = rng.integers(1, b, size=n_pairs)
+    tail = (np.arange(b)[None, :] >= points[:, None]) & crossing[:, None]
+    diff = np.bitwise_xor(a, c)
+    diff *= tail  # zero outside the swapped tails
+    a ^= diff
+    c ^= diff
+    return population
+
+
+def fast_mutate_inplace(
+    population: np.ndarray,
+    sites: EligibleSites,
+    prob: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-gene mutation in place, resampling only the hit genes.
+
+    Draws the same two full-shape uniforms as the reference (`mutate`
+    then ``EligibleSites.sample``) but evaluates the site lookup only
+    at the ~``prob * P * B`` mutated positions instead of all of them.
+    """
+    if prob <= 0:
+        return population
+    mask = rng.random(population.shape) < prob
+    flat = np.flatnonzero(mask)
+    if flat.size:
+        u = rng.random(population.shape)
+        cols = flat % population.shape[1]
+        k = (u.take(flat) * sites.counts[cols]).astype(np.int64)
+        np.put(population, flat, sites.lookup[cols, k])
+    return population
+
+
+def fast_elitism_inplace(
+    population: np.ndarray,
+    fitness: np.ndarray,
+    elites: np.ndarray,
+    elite_fitness: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`apply_elitism` without the defensive copies.
+
+    ``population``/``fitness`` are mutated and returned; the caller
+    owns them (the fast generation loop's ping-pong buffers).
+    """
+    n_elite = elites.shape[0]
+    if n_elite:
+        worst = np.argsort(fitness)[-n_elite:]
+        population[worst] = elites
+        fitness[worst] = elite_fitness
+    return population, fitness

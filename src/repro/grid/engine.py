@@ -27,12 +27,13 @@ import numpy as np
 
 from repro.grid.batch import Batch, ScheduleResult, check_order_permutation
 from repro.grid.etc import etc_matrix
-from repro.grid.events import Event, EventKind, EventQueue
+from repro.grid.events import Event, EventKind, make_event_queue
 from repro.grid.job import Job, JobRecord, JobState
 from repro.grid.reliability import ExponentialFailure, FailureLaw
 from repro.grid.security import DEFAULT_LAMBDA
 from repro.grid.site import Grid
 from repro.grid.trace import Attempt, AttemptLog
+from repro.util.backend import resolve_backend
 from repro.util.rng import as_generator
 from repro.util.timing import Stopwatch
 from repro.util.validation import check_positive
@@ -112,6 +113,11 @@ class GridSimulator:
     record_attempts:
         Keep a per-attempt :class:`~repro.grid.trace.AttemptLog` in
         the result (costs one record per dispatch).
+    backend:
+        Event-queue backend — ``"reference"``, ``"fast"``, or None to
+        defer to ``$REPRO_BACKEND`` when :meth:`run` starts (see
+        :mod:`repro.util.backend`).  Both queues pop events in the
+        identical deterministic order, so results are bit-identical.
     """
 
     def __init__(
@@ -126,6 +132,7 @@ class GridSimulator:
         rng: int | np.random.Generator | None = 0,
         failure_law: FailureLaw | None = None,
         record_attempts: bool = False,
+        backend: str | None = None,
     ) -> None:
         if not hasattr(scheduler, "schedule"):
             raise TypeError(
@@ -141,6 +148,9 @@ class GridSimulator:
             )
         check_positive("batch_interval", batch_interval)
         check_positive("lam", lam)
+        if backend is not None:
+            resolve_backend(backend)  # fail fast on typos
+        self.backend = backend
         self.grid = grid
         self.scheduler = scheduler
         self.batch_interval = float(batch_interval)
@@ -169,9 +179,16 @@ class GridSimulator:
         if len(by_id) != len(jobs):
             raise ValueError("duplicate job_ids in workload")
 
-        events = EventQueue()
+        events = make_event_queue(self.backend)
         for j in jobs:
             events.push(Event(j.arrival, EventKind.ARRIVAL, j.job_id))
+
+        # Per-job columns gathered batch-by-batch in _build_batch; the
+        # secure flag mirrors records[i].secure_only (flipped only in
+        # the failed-completion branch below).
+        self._workloads = np.array([j.workload for j in jobs], dtype=float)
+        self._sds = np.array([j.security_demand for j in jobs], dtype=float)
+        self._secure_flags = np.array([r.secure_only for r in records], dtype=bool)
 
         queue: list[int] = []  # pending job ids, FIFO
         outcome: dict[int, bool] = {}  # job_id -> attempt failed?
@@ -212,6 +229,7 @@ class GridSimulator:
                 if failed:
                     rec.ever_failed = True
                     rec.secure_only = True
+                    self._secure_flags[idx] = True
                     rec.state = JobState.FAILED
                     queue.append(ev.payload)
                     ensure_tick(now)
@@ -279,12 +297,14 @@ class GridSimulator:
 
     # ------------------------------------------------------------------
     def _build_batch(self, now, batch_ids, records, by_id, free) -> Batch:
-        idxs = [by_id[jid] for jid in batch_ids]
-        workloads = np.array([records[i].job.workload for i in idxs], dtype=float)
-        sds = np.array(
-            [records[i].job.security_demand for i in idxs], dtype=float
+        idxs = np.fromiter(
+            (by_id[jid] for jid in batch_ids),
+            dtype=np.int64,
+            count=len(batch_ids),
         )
-        secure_only = np.array([records[i].secure_only for i in idxs], dtype=bool)
+        workloads = self._workloads[idxs]
+        sds = self._sds[idxs]
+        secure_only = self._secure_flags[idxs]
         return Batch(
             now=now,
             job_ids=np.array(batch_ids, dtype=int),

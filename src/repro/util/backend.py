@@ -1,0 +1,66 @@
+"""Execution-backend selection for the hot paths.
+
+The GA generation loop and the engine's event queue each ship two
+implementations:
+
+* ``"reference"`` — the straightforward code the repository grew up
+  with; every committed baseline was produced by it.
+* ``"fast"`` — fused, allocation-light kernels that draw from the same
+  RNG stream in the same order and are **bit-identical** to the
+  reference at any fixed seed.  ``tests/test_backend_parity.py`` is
+  the differential suite that enforces this, the same way
+  ``population_similarity`` was shipped.
+
+The backend is addressed three ways, most specific wins:
+
+1. explicitly — ``evolve(..., backend="fast")``,
+   ``GridSimulator(..., backend="fast")``,
+   ``STGAScheduler(..., backend="fast")``;
+2. per scheduler ref — ``"stga?backend=fast"`` (the registry forwards
+   unknown ref params to the factory, which passes them through);
+3. process-wide — the ``REPRO_BACKEND`` environment variable, which
+   every unset ``backend=None`` falls back to.  Because experiment
+   workers inherit the environment, ``REPRO_BACKEND=fast`` switches a
+   whole sweep/shard/service run with zero plumbing.
+
+Because the two backends are bit-identical, the choice is a pure
+performance knob: records, baselines and regression gates are
+backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "REFERENCE_BACKEND",
+    "FAST_BACKEND",
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "resolve_backend",
+]
+
+#: the seed implementation; produced every committed baseline
+REFERENCE_BACKEND = "reference"
+#: fused kernels, bit-identical to the reference at fixed seed
+FAST_BACKEND = "fast"
+#: every valid backend name
+BACKENDS = (REFERENCE_BACKEND, FAST_BACKEND)
+#: environment variable consulted when no explicit backend is given
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Validate ``backend``, falling back to ``$REPRO_BACKEND``.
+
+    ``None`` resolves to the environment variable (or
+    :data:`REFERENCE_BACKEND` when unset/empty); anything that is not
+    a known backend name raises ``ValueError`` listing the options.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR, "") or REFERENCE_BACKEND
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
+        )
+    return backend

@@ -1,0 +1,594 @@
+"""Differential parity suite: ``backend=fast`` vs ``backend=reference``.
+
+The fast backend (fused GA kernels, batched island fitness, structured
+-array event queue — see :mod:`repro.util.backend`) is only allowed to
+exist because it is **bit-identical** to the reference at any fixed
+seed.  This suite is the mechanical enforcement:
+
+* randomized end-to-end scenarios (random grids, job streams, failure
+  laws, history capacities) run through :func:`run_lineup` and
+  :class:`GridSimulator` on both backends, and every result payload —
+  excluding wall-clock ``scheduler_seconds`` — must match exactly;
+* property tests pin the per-kernel contracts: RNG-stream equivalence
+  (same draws, same order, same post-call generator state),
+  eligibility/permutation validity of fast operator outputs, bit-exact
+  :class:`FitnessWorkspace` evaluation, and identical event-queue pop
+  order under arbitrary push/pop interleavings.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.chromosome import EligibleSites, check_population
+from repro.core.fitness import FitnessWorkspace, population_fitness
+from repro.core.ga import GAConfig, evolve
+from repro.core.islands import IslandConfig, evolve_islands
+from repro.core.operators import (
+    apply_elitism,
+    fast_crossover_inplace,
+    fast_elitism_inplace,
+    fast_mutate_inplace,
+    fast_roulette_select_into,
+    mutate,
+    roulette_select,
+    single_point_crossover,
+)
+from repro.core.stga import STGAScheduler
+from repro.experiments.config import RunSettings
+from repro.experiments.runner import run_lineup
+from repro.grid.engine import GridSimulator
+from repro.grid.events import (
+    ArrayEventQueue,
+    Event,
+    EventKind,
+    EventQueue,
+    make_event_queue,
+)
+from repro.grid.job import Job
+from repro.grid.site import Grid, Site
+from repro.heuristics.minmin import MinMinScheduler
+from repro.util.backend import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    FAST_BACKEND,
+    REFERENCE_BACKEND,
+    resolve_backend,
+)
+from repro.workloads.base import Scenario
+
+# ----------------------------------------------------------------------
+# randomized scenario generator
+
+N_SCENARIOS = 20
+
+
+def random_scenario(seed: int) -> Scenario:
+    """A random (grid, job stream) pair: random site counts/speeds/
+    security levels and job counts/arrivals/workloads/demands."""
+    rng = np.random.default_rng(10_000 + seed)
+    n_sites = int(rng.integers(2, 8))
+    sites = tuple(
+        Site(
+            site_id=i,
+            speed=float(rng.uniform(5.0, 25.0)),
+            security_level=float(rng.uniform(0.4, 1.0)),
+        )
+        for i in range(n_sites)
+    )
+    n_jobs = int(rng.integers(15, 35))
+    arrivals = np.sort(rng.uniform(0.0, 3000.0, size=n_jobs))
+    jobs = tuple(
+        Job(
+            job_id=j,
+            arrival=float(arrivals[j]),
+            workload=float(rng.uniform(100.0, 5000.0)),
+            security_demand=float(rng.uniform(0.6, 0.9)),
+        )
+        for j in range(n_jobs)
+    )
+    return Scenario(name=f"parity-{seed}", grid=Grid(sites), jobs=jobs)
+
+
+def scenario_settings(seed: int) -> RunSettings:
+    """Random-but-seeded run settings (failure law, batch interval)."""
+    rng = np.random.default_rng(20_000 + seed)
+    return RunSettings(
+        seed=seed,
+        batch_interval=float(rng.choice([300.0, 800.0, 2000.0])),
+        lam=float(rng.choice([1.0, 3.0])),
+        failure_point=str(rng.choice(["uniform", "end"])),
+        ga=GAConfig(population_size=12, generations=6),
+    )
+
+
+def assert_reports_identical(ref_reports, fast_reports):
+    """Bit-identical PerformanceReports modulo wall-clock timing."""
+    assert len(ref_reports) == len(fast_reports)
+    for a, b in zip(ref_reports, fast_reports):
+        da, db = a.to_dict(), b.to_dict()
+        da.pop("scheduler_seconds")
+        db.pop("scheduler_seconds")
+        assert da == db, f"{a.scheduler}: {da} != {db}"
+
+
+def assert_sim_results_identical(a, b):
+    """Bit-identical SimulationResult payloads (timing excluded)."""
+    assert a.makespan == b.makespan
+    assert a.n_batches == b.n_batches
+    assert a.n_forced == b.n_forced
+    assert a.batch_sizes == b.batch_sizes
+    np.testing.assert_array_equal(a.busy_time, b.busy_time)
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        assert ra.job == rb.job
+        assert ra.state == rb.state
+        assert ra.attempts == rb.attempts
+        assert ra.first_start == rb.first_start
+        assert ra.completion == rb.completion
+        assert ra.took_risk == rb.took_risk
+        assert ra.ever_failed == rb.ever_failed
+        assert ra.secure_only == rb.secure_only
+        assert ra.forced == rb.forced
+        assert ra.sites_visited == rb.sites_visited
+
+
+# ----------------------------------------------------------------------
+# end-to-end differential tests
+
+
+class TestEndToEndParity:
+    @pytest.mark.parametrize("seed", range(N_SCENARIOS))
+    def test_run_lineup_bit_identical(self, seed, monkeypatch):
+        """The tentpole criterion: a whole lineup run — heuristics,
+        engine, STGA with its history table — produces bit-identical
+        reports when every backend knob is flipped to fast via the
+        environment."""
+        scenario = random_scenario(seed)
+        settings = scenario_settings(seed)
+        # vary the history capacity across scenarios too
+        stga_ref = "stga" if seed % 2 == 0 else "stga?capacity=10"
+        lineup = ("min-min-risky", "sufferage-secure", stga_ref)
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        ref = run_lineup(scenario, None, settings, lineup=lineup)
+        monkeypatch.setenv(BACKEND_ENV_VAR, FAST_BACKEND)
+        fast = run_lineup(scenario, None, settings, lineup=lineup)
+        assert_reports_identical(ref, fast)
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_backend_ref_param_matches_reference(self, seed, monkeypatch):
+        """``stga?backend=fast`` through the registry (no env var)
+        equals the plain ``stga`` reference run."""
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        scenario = random_scenario(seed)
+        settings = scenario_settings(seed)
+        ref = run_lineup(scenario, None, settings, lineup=("stga",))
+        fast = run_lineup(
+            scenario, None, settings, lineup=("stga?backend=fast&label=STGA",)
+        )
+        assert_reports_identical(ref, fast)
+
+    @pytest.mark.parametrize("seed", [1, 4, 9, 13])
+    def test_simulation_result_payloads_identical(self, seed):
+        """GridSimulator(backend=fast) reproduces every field of the
+        reference SimulationResult, including per-job records and
+        failure/resubmission bookkeeping."""
+        scenario = random_scenario(seed)
+        results = []
+        for backend in BACKENDS:
+            sim = GridSimulator(
+                scenario.grid,
+                MinMinScheduler("risky"),
+                batch_interval=500.0,
+                lam=1.0,  # failure-heavy: exercises secure-only resubmits
+                rng=seed,
+                backend=backend,
+            )
+            results.append(sim.run(scenario.jobs))
+        assert_sim_results_identical(results[0], results[1])
+        assert any(r.ever_failed for r in results[0].records), (
+            "scenario produced no failures — the secure-only path "
+            "went untested"
+        )
+
+    def test_stga_scheduler_backend_kwarg(self):
+        """Explicit backend= on the scheduler class, full decision."""
+        scenario = random_scenario(2)
+        sims = {}
+        for backend in BACKENDS:
+            sched = STGAScheduler(
+                config=GAConfig(population_size=14, generations=8),
+                rng=3,
+                backend=backend,
+            )
+            sim = GridSimulator(
+                scenario.grid, sched, batch_interval=800.0, rng=5,
+                backend=backend,
+            )
+            sims[backend] = sim.run(scenario.jobs)
+        assert_sim_results_identical(
+            sims[REFERENCE_BACKEND], sims[FAST_BACKEND]
+        )
+
+
+# ----------------------------------------------------------------------
+# GA-level differential tests
+
+
+def random_problem(seed, with_zero_etc=False):
+    rng = np.random.default_rng(seed)
+    b, s = int(rng.integers(1, 30)), int(rng.integers(2, 12))
+    etc = rng.uniform(0.5, 30.0, size=(b, s))
+    if with_zero_etc:
+        etc[rng.random((b, s)) < 0.1] = 0.0
+    ready = rng.uniform(0.0, 10.0, size=s)
+    elig = rng.random((b, s)) < 0.7
+    elig[np.arange(b), rng.integers(0, s, size=b)] = True
+    return etc, ready, elig
+
+
+class TestEvolveParity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_evolve_bit_identical(self, seed):
+        etc, ready, elig = random_problem(seed)
+        rng = np.random.default_rng(seed)
+        cfg = GAConfig(
+            population_size=int(rng.integers(4, 40)),
+            generations=int(rng.integers(0, 25)),
+            n_elite=int(rng.integers(0, 3)),
+            flow_weight=float(rng.choice([0.0, 0.25])),
+        )
+        runs = [
+            evolve(etc, ready, elig, np.random.default_rng(seed), cfg,
+                   backend=bk, track_history=True)
+            for bk in BACKENDS
+        ]
+        a, b = runs
+        np.testing.assert_array_equal(a.best, b.best)
+        assert a.best_fitness == b.best_fitness
+        assert a.initial_fitness == b.initial_fitness
+        assert a.generations_run == b.generations_run
+        np.testing.assert_array_equal(a.history, b.history)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_evolve_islands_bit_identical(self, seed):
+        etc, ready, elig = random_problem(100 + seed)
+        rng = np.random.default_rng(seed)
+        cfg = GAConfig(
+            population_size=int(rng.integers(8, 40)),
+            generations=int(rng.integers(1, 20)),
+        )
+        isl = IslandConfig(
+            n_islands=int(rng.integers(1, 5)),
+            migration_interval=int(rng.integers(1, 6)),
+            n_migrants=int(rng.integers(0, 4)),
+        )
+        runs = [
+            evolve_islands(etc, ready, elig, np.random.default_rng(seed),
+                           cfg, isl, backend=bk, track_history=True)
+            for bk in BACKENDS
+        ]
+        a, b = runs
+        np.testing.assert_array_equal(a.best, b.best)
+        assert a.best_fitness == b.best_fitness
+        np.testing.assert_array_equal(a.history, b.history)
+
+    def test_rng_stream_position_identical_after_evolve(self):
+        """Both backends must leave the shared generator at the same
+        stream position — otherwise everything downstream diverges."""
+        etc, ready, elig = random_problem(5)
+        cfg = GAConfig(population_size=20, generations=10)
+        draws = []
+        for bk in BACKENDS:
+            g = np.random.default_rng(17)
+            evolve(etc, ready, elig, g, cfg, backend=bk)
+            draws.append(g.random(8))
+        np.testing.assert_array_equal(draws[0], draws[1])
+
+
+# ----------------------------------------------------------------------
+# operator-level property tests
+
+
+def make_sites(rng, b, s):
+    elig = rng.random((b, s)) < 0.6
+    elig[np.arange(b), rng.integers(0, s, size=b)] = True
+    return EligibleSites.from_mask(elig), elig
+
+
+class TestOperatorStreamEquivalence:
+    """Each fast kernel: same output AND same RNG stream consumption."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roulette(self, seed):
+        rng = np.random.default_rng(seed)
+        pop = rng.integers(0, 6, size=(17, 9))
+        fit = rng.uniform(1.0, 50.0, size=17)
+        g1, g2 = np.random.default_rng(seed), np.random.default_rng(seed)
+        ref = roulette_select(pop, fit, g1)
+        out = np.empty_like(pop)
+        fast_roulette_select_into(pop, fit, g2, out)
+        np.testing.assert_array_equal(ref, out)
+        assert g1.random() == g2.random()
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("prob", [0.0, 0.5, 1.0])
+    def test_crossover(self, seed, prob):
+        rng = np.random.default_rng(seed)
+        pop = rng.integers(0, 6, size=(15, 8))  # odd P: trailing row
+        g1, g2 = np.random.default_rng(seed), np.random.default_rng(seed)
+        ref = single_point_crossover(pop, prob, g1)
+        fast = fast_crossover_inplace(pop.copy(), prob, g2)
+        np.testing.assert_array_equal(ref, fast)
+        assert g1.random() == g2.random()
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("prob", [0.0, 0.05, 1.0])
+    def test_mutate(self, seed, prob):
+        rng = np.random.default_rng(seed)
+        sites, _ = make_sites(rng, 11, 7)
+        pop = sites.sample(rng, (13, 11))
+        g1, g2 = np.random.default_rng(seed), np.random.default_rng(seed)
+        ref = mutate(pop, sites, prob, g1)
+        fast = fast_mutate_inplace(pop.copy(), sites, prob, g2)
+        np.testing.assert_array_equal(ref, fast)
+        assert g1.random() == g2.random()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_elitism(self, seed):
+        rng = np.random.default_rng(seed)
+        pop = rng.integers(0, 5, size=(12, 6))
+        fit = rng.uniform(1, 9, size=12)
+        elites = rng.integers(0, 5, size=(3, 6))
+        efit = rng.uniform(0, 1, size=3)
+        ref_pop, ref_fit = apply_elitism(pop, fit, elites, efit)
+        fpop, ffit = fast_elitism_inplace(pop.copy(), fit.copy(), elites, efit)
+        np.testing.assert_array_equal(ref_pop, fpop)
+        np.testing.assert_array_equal(ref_fit, ffit)
+
+
+class TestOperatorValidity:
+    """Permutation/eligibility validity of fast kernel outputs."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roulette_rows_come_from_population(self, seed):
+        rng = np.random.default_rng(seed)
+        pop = rng.integers(0, 9, size=(20, 5))
+        fit = rng.uniform(1, 10, size=20)
+        out = np.empty_like(pop)
+        fast_roulette_select_into(pop, fit, np.random.default_rng(seed), out)
+        rows = {tuple(r) for r in pop}
+        assert all(tuple(r) in rows for r in out)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_crossover_preserves_column_multisets(self, seed):
+        """A tail swap permutes genes within a column pair — the
+        per-column multiset of genes is invariant."""
+        rng = np.random.default_rng(seed)
+        pop = rng.integers(0, 9, size=(16, 6))
+        before = np.sort(pop, axis=0)
+        out = fast_crossover_inplace(pop.copy(), 1.0, np.random.default_rng(seed))
+        np.testing.assert_array_equal(np.sort(out, axis=0), before)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mutation_respects_eligibility(self, seed):
+        rng = np.random.default_rng(seed)
+        sites, elig = make_sites(rng, 9, 6)
+        pop = sites.sample(rng, (14, 9))
+        out = fast_mutate_inplace(pop, sites, 0.9, np.random.default_rng(seed))
+        assert sites.allowed(out).all()
+
+
+class TestPopulationValidation:
+    """Satellite: clear up-front errors instead of deep numpy blowups."""
+
+    def test_float_population_rejected(self):
+        with pytest.raises(TypeError, match="integer"):
+            check_population(np.zeros((3, 2), dtype=float))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match=r"outside \[0, 4\)"):
+            check_population(np.array([[0, 5]]), 4)
+        with pytest.raises(ValueError, match="outside"):
+            check_population(np.array([[-1, 2]]), 4)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match=r"\(P, B\)"):
+            check_population(np.zeros(3, dtype=int))
+
+    def test_context_named_in_error(self):
+        with pytest.raises(TypeError, match="roulette_select"):
+            roulette_select(
+                np.zeros((4, 2)), np.ones(4), np.random.default_rng(0)
+            )
+
+    def test_population_fitness_rejects_float_population(self):
+        with pytest.raises(TypeError, match="integer"):
+            population_fitness(
+                np.zeros((2, 3)), np.ones((3, 2)), np.zeros(2)
+            )
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda pop: single_point_crossover(
+                pop, 0.5, np.random.default_rng(0)
+            ),
+            lambda pop: mutate(
+                pop,
+                EligibleSites.from_mask(np.ones((3, 2), bool)),
+                0.5,
+                np.random.default_rng(0),
+            ),
+        ],
+    )
+    def test_operators_reject_float_population(self, op):
+        with pytest.raises(TypeError, match="integer"):
+            op(np.zeros((4, 3), dtype=float))
+
+
+# ----------------------------------------------------------------------
+# fitness workspace
+
+
+class TestFitnessWorkspaceParity:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("flow_weight", [0.0, 0.4])
+    def test_bit_identical_to_population_fitness(self, seed, flow_weight):
+        etc, ready, elig = random_problem(200 + seed)
+        rng = np.random.default_rng(seed)
+        sites = EligibleSites.from_mask(elig)
+        ws = FitnessWorkspace(etc, ready, flow_weight=flow_weight)
+        for p in (1, 7, 24):
+            pop = sites.sample(rng, (p, etc.shape[0]))
+            np.testing.assert_array_equal(
+                ws.evaluate(pop),
+                population_fitness(pop, etc, ready, flow_weight=flow_weight),
+            )
+
+    def test_zero_etc_entries_use_counting_fallback(self):
+        """With zero execution times 'load > 0' no longer detects
+        occupancy; the workspace must fall back to counting."""
+        etc, ready, _ = random_problem(300, with_zero_etc=True)
+        assert (etc == 0).any()
+        rng = np.random.default_rng(3)
+        b, s = etc.shape
+        pop = rng.integers(0, s, size=(11, b))
+        ws = FitnessWorkspace(etc, ready)
+        np.testing.assert_array_equal(
+            ws.evaluate(pop), population_fitness(pop, etc, ready)
+        )
+
+    def test_buffers_reused_across_calls(self):
+        etc = np.ones((4, 3))
+        ws = FitnessWorkspace(etc, np.zeros(3))
+        pop = np.zeros((6, 4), dtype=np.int64)
+        ws.evaluate(pop)
+        buf = ws._weights
+        ws.evaluate(pop)
+        assert ws._weights is buf
+
+
+# ----------------------------------------------------------------------
+# event queue
+
+
+def random_events(rng, n):
+    kinds = [EventKind.COMPLETION, EventKind.ARRIVAL, EventKind.SCHEDULE]
+    # coarse time grid: plenty of exact ties to exercise the
+    # (time, kind, seq) tie-breaking
+    return [
+        Event(
+            float(rng.integers(0, 6)),
+            kinds[int(rng.integers(0, 3))],
+            int(rng.integers(-1, 50)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestEventQueueParity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pop_order_identical_under_interleaving(self, seed):
+        """Random push/pop interleavings (bulk preload, then trickle)
+        pop in exactly the reference order."""
+        rng = np.random.default_rng(seed)
+        ref, fast = EventQueue(), ArrayEventQueue()
+        for ev in random_events(rng, int(rng.integers(1, 40))):
+            ref.push(ev)
+            fast.push(ev)
+        steps = int(rng.integers(10, 60))
+        for _ in range(steps):
+            assert len(ref) == len(fast)
+            assert ref.peek_time() == fast.peek_time()
+            if len(ref) and rng.random() < 0.6:
+                assert ref.pop() == fast.pop()
+            else:
+                (ev,) = random_events(rng, 1)
+                ref.push(ev)
+                fast.push(ev)
+        while ref:
+            assert ref.pop() == fast.pop()
+        assert not fast
+        assert fast.peek_time() == float("inf")
+
+    def test_empty_pop_raises_index_error(self):
+        q = ArrayEventQueue()
+        with pytest.raises(IndexError, match="empty"):
+            q.pop()
+        q.push(Event(1.0, EventKind.ARRIVAL, 0))
+        q.pop()
+        with pytest.raises(IndexError, match="empty"):
+            q.pop()
+
+    def test_invalid_time_rejected(self):
+        q = ArrayEventQueue()
+        with pytest.raises(ValueError, match="invalid event time"):
+            q.push(Event(-1.0, EventKind.ARRIVAL, 0))
+        with pytest.raises(ValueError, match="invalid event time"):
+            q.push(Event(float("nan"), EventKind.ARRIVAL, 0))
+
+    def test_make_event_queue_dispatch(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert isinstance(make_event_queue(), EventQueue)
+        assert isinstance(make_event_queue("fast"), ArrayEventQueue)
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fast")
+        assert isinstance(make_event_queue(), ArrayEventQueue)
+        assert isinstance(make_event_queue("reference"), EventQueue)
+
+
+# ----------------------------------------------------------------------
+# backend resolution
+
+
+class TestBackendResolution:
+    def test_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend() == REFERENCE_BACKEND
+        assert resolve_backend(None) == REFERENCE_BACKEND
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, FAST_BACKEND)
+        assert resolve_backend() == FAST_BACKEND
+        # explicit beats the environment
+        assert resolve_backend(REFERENCE_BACKEND) == REFERENCE_BACKEND
+
+    def test_empty_env_var_means_reference(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert resolve_backend() == REFERENCE_BACKEND
+
+    @pytest.mark.parametrize("bad", ["turbo", "Fast", "numba"])
+    def test_unknown_backend_rejected(self, bad, monkeypatch):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend(bad)
+        monkeypatch.setenv(BACKEND_ENV_VAR, bad)
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend()
+
+    def test_constructors_fail_fast_on_typo(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            STGAScheduler(backend="quick")
+        with pytest.raises(ValueError, match="unknown backend"):
+            GridSimulator(
+                random_scenario(0).grid,
+                MinMinScheduler("risky"),
+                backend="quick",
+            )
+
+    def test_cli_rejects_bad_env_var_with_exit_2(self, monkeypatch, capsys):
+        """A bad REPRO_BACKEND is a usage error: stderr + exit 2, not
+        a traceback from the first simulation it reaches."""
+        from repro.cli import main
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "turbo")
+        assert main(["fig8", "--scale", "0.002"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_evolve_rejects_unknown_backend(self):
+        etc, ready, elig = random_problem(1)
+        with pytest.raises(ValueError, match="unknown backend"):
+            evolve(etc, ready, elig, np.random.default_rng(0),
+                   GAConfig(population_size=4, generations=1),
+                   backend="quick")

@@ -64,12 +64,25 @@ class TestInsertQuery:
         r, e, s, _ = entry()
         assert len(t.query(r, e, s, max_results=2)) == 2
 
-    def test_returned_copies_safe_to_mutate(self):
+    def test_returned_views_are_read_only(self):
+        """query returns the stored arrays without copying; they are
+        frozen so a caller cannot corrupt the table through them."""
         t = HistoryTable(capacity=10, threshold=0.8)
         r, e, s, a = entry(assignment=[0, 1, 0])
         t.insert(r, e, s, a)
         out = t.query(r, e, s)[0]
-        out[:] = 9
+        with pytest.raises(ValueError, match="read-only"):
+            out[:] = 9
+        np.testing.assert_array_equal(t.query(r, e, s)[0], [0, 1, 0])
+
+    def test_stored_entry_isolated_from_caller_arrays(self):
+        """insert copies its inputs — mutating the caller's assignment
+        afterwards must not change what query returns."""
+        t = HistoryTable(capacity=10, threshold=0.8)
+        r, e, s, _ = entry()
+        a = np.array([0, 1, 0])
+        t.insert(r, e, s, a)
+        a[:] = 7
         np.testing.assert_array_equal(t.query(r, e, s)[0], [0, 1, 0])
 
     def test_stats(self):

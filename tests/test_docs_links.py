@@ -58,6 +58,7 @@ def test_readme_links_to_docs_tree():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     assert "docs/ARCHITECTURE.md" in text
     assert "docs/CLI.md" in text
+    assert "docs/PERF.md" in text
 
 
 def _subcommand_names():
