@@ -12,6 +12,9 @@ Examples
     repro-grid ablation --scale 0.05
     repro-grid sweep --scale 0.01 --sweep-seeds 5 --sweep-jobs 1000,2000
     repro-grid sweep --out runs/baseline
+    repro-grid sweep --sweep-workload "psa?dynamics=poisson&online=true" \\
+        --record-traces traces/ --out runs/dynamic
+    repro-grid replay traces/ --out runs/replayed
     repro-grid emit-spec fig8 --scale 0.05 --out fig8.json
     repro-grid run fig8.json --out runs/fig8
     repro-grid shard fig8.json --shards 4 --out-dir shards/
@@ -54,6 +57,16 @@ and ``docs/CLI.md``).  ``compare-runs A B`` diffs two stored runs
 per (variant, scheduler, metric) cell; with ``--fail-on-regression``
 it exits 1 when run B is statistically worse than baseline A by more
 than ``--threshold`` percent (the CI regression gate).
+
+Dynamic scenarios travel inside workload refs: ``--sweep-workload
+"psa?dynamics=poisson&breakdown=0.01&online=true"`` layers arrival
+redraw, breakdowns and online rescheduling onto the generator (see
+``docs/SCENARIOS.md``).  ``sweep --record-traces DIR`` records every
+(variant, seed, scheduler) cell as a replayable grid trace, and
+``replay`` re-executes traces, verifying the re-run is bit-identical to
+the recording; with ``--out`` the replayed cells persist as a run
+record, so ``compare-runs --fail-on-regression --threshold 0`` can gate
+on replay fidelity.
 
 Run records live in pluggable *stores* (see ``docs/STORE.md``):
 ``--store URI`` on ``sweep``, ``run``, ``merge``, ``resume`` and
@@ -129,6 +142,7 @@ from repro.experiments.store import (
 )
 from repro.service.client import SERVICE_URL_ENV
 from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+from repro.experiments.replay import record_sweep, replay_result, replay_trace
 from repro.experiments.sweep import (
     job_scaling_variants,
     run_sweep,
@@ -231,9 +245,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--sweep-workload",
-        choices=sorted(available_workloads()),
+        type=str,
         default="psa",
-        help="workload generator for the sweep variants (default psa)",
+        metavar="REF",
+        help=(
+            "workload ref for the sweep variants: a registered "
+            "generator name, optionally parameterized — e.g. "
+            '"psa?dynamics=poisson&breakdown=0.01&online=true" layers '
+            "dynamic-scenario processes on top (default psa; see "
+            "docs/SCENARIOS.md)"
+        ),
     )
     sweep.add_argument(
         "--sweep-jobs",
@@ -259,6 +280,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store(
         sweep, "persist the sweep into this run store instead of --out"
+    )
+    sweep.add_argument(
+        "--record-traces",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "record every (variant, seed, scheduler) cell as a replayable "
+            "grid trace under DIR (forces sequential execution; see "
+            "'replay')"
+        ),
+    )
+
+    rpl = sub.add_parser(
+        "replay",
+        help=(
+            "re-execute recorded grid traces and verify bit-identical "
+            "replay"
+        ),
+    )
+    rpl.add_argument(
+        "traces",
+        nargs="+",
+        metavar="TRACE",
+        help=(
+            "trace files (.jsonl) or directories of traces recorded by "
+            "'sweep --record-traces'"
+        ),
+    )
+    rpl.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist the replayed cells as a run record at DIR "
+            "(comparable with the original via compare-runs)"
+        ),
+    )
+    _add_store(
+        rpl, "persist the replayed run into this run store instead of --out"
     )
 
     run = sub.add_parser(
@@ -810,13 +872,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    res = run_sweep(
-        job_scaling_variants(n_values, workload=args.sweep_workload),
-        seed_list(args.sweep_seeds, base_seed=args.seed),
-        settings=_settings(args),
-        scale=args.scale,
-        max_workers=args.max_workers,
-    )
+    try:
+        # a workload ref validates at variant construction: unknown
+        # generator names and malformed dynamics knobs both land here
+        variants = job_scaling_variants(
+            n_values, workload=args.sweep_workload
+        )
+    except ValueError as exc:
+        print(f"--sweep-workload: {exc}", file=sys.stderr)
+        return 2
+    seeds = seed_list(args.sweep_seeds, base_seed=args.seed)
+    if args.record_traces:
+        if args.max_workers not in (None, 1):
+            print(
+                "note: --record-traces runs sequentially; "
+                "--max-workers ignored"
+            )
+        res, trace_paths = record_sweep(
+            variants,
+            seeds,
+            args.record_traces,
+            settings=_settings(args),
+            scale=args.scale,
+        )
+        print(
+            f"recorded {len(trace_paths)} trace(s) under "
+            f"{args.record_traces}\n"
+        )
+    else:
+        res = run_sweep(
+            variants,
+            seeds,
+            settings=_settings(args),
+            scale=args.scale,
+            max_workers=args.max_workers,
+        )
     for metric in ("makespan", "avg_response_time", "slowdown_ratio",
                    "n_fail"):
         print(res.render(metric))
@@ -837,6 +927,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             stored = store.save(res, name="sweep")
         print(f"\nsaved run record {stored.ref} to {store.uri}")
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.out and args.store:
+        print("--out and --store are mutually exclusive", file=sys.stderr)
+        return 2
+    paths: list[Path] = []
+    for arg in args.traces:
+        p = Path(arg)
+        if p.is_dir():
+            found = sorted(p.glob("*.jsonl"))
+            if not found:
+                print(
+                    f"TRACE ({arg}): directory holds no *.jsonl trace files",
+                    file=sys.stderr,
+                )
+                return 2
+            paths.extend(found)
+        elif p.is_file():
+            paths.append(p)
+        else:
+            print(
+                f"TRACE ({arg}): no such file or directory", file=sys.stderr
+            )
+            return 2
+
+    outcomes = []
+    for p in paths:
+        try:
+            outcome = replay_trace(p)
+        except (OSError, ValueError) as exc:
+            print(f"{p}: {exc}", file=sys.stderr)
+            return 2
+        verdict = (
+            "bit-identical"
+            if outcome.ok
+            else "MISMATCH: " + "; ".join(outcome.mismatches)
+        )
+        print(
+            f"{p.name}: {outcome.variant.name} / seed {outcome.seed} / "
+            f"{outcome.ref}: {verdict}"
+        )
+        outcomes.append(outcome)
+    failed = [o for o in outcomes if not o.ok]
+    print(
+        f"\nreplayed {len(outcomes)} trace(s): "
+        f"{len(outcomes) - len(failed)} bit-identical, "
+        f"{len(failed)} mismatched"
+    )
+
+    if args.out or args.store:
+        try:
+            res = replay_result(outcomes)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.out:
+            run_dir = save_run(res, args.out, name="replay", overwrite=True)
+            print(f"saved replayed run record to {run_dir}")
+        else:
+            store = _open_store_arg(args.store)
+            if store is None:
+                return 2
+            with store:
+                stored = store.save(res, name="replay")
+            print(f"saved replayed run record {stored.ref} to {store.uri}")
+    return 1 if failed else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -1528,6 +1685,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compare_runs(args)
     if args.experiment == "sweep":
         return _cmd_sweep(args)
+    if args.experiment == "replay":
+        return _cmd_replay(args)
     if args.experiment == "run":
         return _cmd_run(args)
     if args.experiment == "shard":

@@ -24,16 +24,17 @@ from repro.core.ga import GAConfig
 from repro.core.history import HistoryTable
 from repro.core.stga import STGAScheduler, warmup_history
 from repro.experiments.config import PaperDefaults, RunSettings
-from repro.grid.engine import GridSimulator
+from repro.grid.engine import GridSimulator, SimulationResult
 from repro.grid.security import RiskMode
 from repro.heuristics.base import BatchScheduler
 from repro.metrics.report import PerformanceReport, evaluate
-from repro.registry import build_scheduler, register_scheduler
+from repro.registry import bind_scheduler, register_scheduler
 from repro.util.rng import RngFactory
 from repro.workloads.base import Scenario, scale_jobs
 
 __all__ = [
     "PAPER_LINEUP",
+    "simulate_scheduler",
     "run_scheduler",
     "make_trained_stga",
     "run_lineup",
@@ -55,14 +56,22 @@ PAPER_LINEUP = (
 )
 
 
-def run_scheduler(
+def simulate_scheduler(
     scenario: Scenario,
     scheduler: BatchScheduler,
     settings: RunSettings = RunSettings(),
     *,
     engine_seed: int | None = None,
-) -> PerformanceReport:
-    """Simulate ``scenario`` under ``scheduler`` and evaluate it."""
+    record_attempts: bool = False,
+) -> SimulationResult:
+    """Simulate ``scenario`` under ``scheduler``, returning the raw result.
+
+    Threads the scenario's dynamic timeline (if it carries one — see
+    :class:`~repro.workloads.dynamics.DynamicScenario`) into the
+    engine, so dynamic and static scenarios run through one code path.
+    ``record_attempts=True`` attaches a full
+    :class:`~repro.grid.trace.AttemptLog` for trace recording.
+    """
     seed = settings.seed if engine_seed is None else engine_seed
     sim = GridSimulator(
         scenario.grid,
@@ -72,8 +81,24 @@ def run_scheduler(
         failure_point=settings.failure_point,
         fallback=settings.fallback,
         rng=RngFactory(seed).stream("engine-failures"),
+        record_attempts=record_attempts,
     )
-    result = sim.run(scenario.jobs)
+    return sim.run(
+        scenario.jobs, timeline=getattr(scenario, "timeline", None)
+    )
+
+
+def run_scheduler(
+    scenario: Scenario,
+    scheduler: BatchScheduler,
+    settings: RunSettings = RunSettings(),
+    *,
+    engine_seed: int | None = None,
+) -> PerformanceReport:
+    """Simulate ``scenario`` under ``scheduler`` and evaluate it."""
+    result = simulate_scheduler(
+        scenario, scheduler, settings, engine_seed=engine_seed
+    )
     return evaluate(result, scheduler.name)
 
 
@@ -200,12 +225,14 @@ def run_lineup(
 
     ``lineup`` is a sequence of scheduler-registry refs (default: the
     paper's seven-algorithm :data:`PAPER_LINEUP`, or its six
-    heuristics when ``include_stga=False``); every ref builds through
-    :func:`repro.registry.build_scheduler` with the run's context
+    heuristics when ``include_stga=False``); every ref binds through
+    :func:`repro.registry.bind_scheduler` with the run's context
     (scenario, training stream, paper defaults), so stateful entries
-    like the STGA need no special treatment here.  ``schedulers``
-    instead supplies pre-built instances (legacy API; ``include_stga``
-    then appends the registry-built ``"stga"``).
+    like the STGA need no special treatment here and every built
+    scheduler exposes the unified ``ScheduleFn`` call surface.
+    ``schedulers`` instead supplies pre-built instances — a
+    deprecation shim kept for older drivers; prefer lineup refs
+    (``include_stga`` then appends the registry-built ``"stga"``).
 
     Every scheduler sees the same scenario and the same engine failure
     stream seed, so differences are purely scheduling decisions.
@@ -230,7 +257,7 @@ def run_lineup(
         )
         built = []
     built.extend(
-        build_scheduler(ref, settings, RngFactory(settings.seed), **context)
+        bind_scheduler(ref, settings, RngFactory(settings.seed), **context)
         for ref in refs
     )
     return [run_scheduler(scenario, sched, settings) for sched in built]

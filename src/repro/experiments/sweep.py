@@ -48,7 +48,12 @@ from repro.core.ga import GAConfig
 from repro.experiments.config import PaperDefaults, RunSettings
 from repro.experiments.runner import reports_by_name, run_lineup
 from repro.metrics.report import PerformanceReport
-from repro.registry import build_workload, validate_variant, workload_spec
+from repro.registry import (
+    build_workload,
+    parse_workload_ref,
+    validate_variant,
+    workload_spec,
+)
 from repro.util.stats import t_critical
 from repro.util.tables import render_table
 from repro.workloads.base import Scenario
@@ -83,10 +88,14 @@ class ScenarioVariant:
     A variant pins the workload side (generator, job count, grid
     size, arrival intensity) and any engine overrides (λ, batch
     interval, GA hyper-parameters); the replication seed stays free —
-    the sweep crosses every variant with every seed.  ``workload``
-    names a workload-registry entry (built-ins: ``"psa"``, ``"nas"``;
-    see :mod:`repro.registry` for registering more), which both
-    validates the variant's knobs and builds its scenarios.
+    the sweep crosses every variant with every seed.  ``workload`` is
+    a workload *ref* — a registry entry name (built-ins: ``"psa"``,
+    ``"nas"``, ``"replay"``; see :mod:`repro.registry` for registering
+    more), optionally parameterized like
+    ``"psa?dynamics=poisson&breakdown=0.01&online=true"`` to layer
+    dynamic-scenario processes (:mod:`repro.workloads.dynamics`) on
+    top of the generator.  The entry both validates the variant's
+    knobs and builds its scenarios.
 
     ``n_sites`` sizes the grid for either workload: the PSA generator
     directly, NAS via :func:`~repro.workloads.nas.nas_site_plan`
@@ -104,7 +113,7 @@ class ScenarioVariant:
     """
 
     name: str
-    workload: str = "psa"  # "psa" | "nas"
+    workload: str = "psa"  # a workload ref: "psa", "nas", "psa?online=true", …
     n_jobs: int = 1000
     n_sites: int | None = None
     arrival_rate: float | None = None
@@ -115,7 +124,10 @@ class ScenarioVariant:
 
     def __post_init__(self) -> None:
         try:
-            workload_spec(self.workload)  # unknown names raise, listing
+            # ``workload`` is a ref — a bare name or "name?key=value&…"
+            # (e.g. "psa?dynamics=poisson&online=true"); unknown names
+            # raise, listing the registered generators.
+            workload_spec(parse_workload_ref(self.workload)[0])
         except KeyError as exc:
             raise ValueError(exc.args[0]) from None
         if self.n_jobs < 1:
@@ -611,12 +623,17 @@ def job_scaling_variants(
     n_training_jobs: int | None = None,
     **overrides,
 ) -> tuple[ScenarioVariant, ...]:
-    """One variant per workload size N (the Figure 10 axis)."""
+    """One variant per workload size N (the Figure 10 axis).
+
+    ``workload`` may be a parameterized ref; variant names use only
+    the base generator name (``"psa?online=true"`` → ``"PSA N=…"``).
+    """
     if n_training_jobs is None:
         n_training_jobs = PaperDefaults().n_training_jobs
+    base = parse_workload_ref(workload)[0]
     return tuple(
         ScenarioVariant(
-            name=f"{workload.upper()} N={int(n)}",
+            name=f"{base.upper()} N={int(n)}",
             workload=workload,
             n_jobs=int(n),
             n_training_jobs=n_training_jobs,
@@ -641,9 +658,10 @@ def lambda_variants(
     """
     if n_training_jobs is None:
         n_training_jobs = PaperDefaults().n_training_jobs
+    base = parse_workload_ref(workload)[0]
     return tuple(
         ScenarioVariant(
-            name=f"{workload.upper()} lam={float(lam):g}",
+            name=f"{base.upper()} lam={float(lam):g}",
             workload=workload,
             n_jobs=n_jobs,
             lam=float(lam),

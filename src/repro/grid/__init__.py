@@ -2,10 +2,15 @@
 and the discrete-event simulation engine for periodic online batch
 scheduling (paper Section 2)."""
 
-from repro.grid.batch import Batch, ScheduleResult, check_order_permutation
+from repro.grid.batch import (
+    Batch,
+    ScheduleResult,
+    check_order_permutation,
+    snapshot_batch,
+)
 from repro.grid.engine import GridSimulator, SchedulerDeadlock, SimulationResult
 from repro.grid.etc import completion_matrix, etc_matrix, masked_completion
-from repro.grid.events import Event, EventKind, EventQueue
+from repro.grid.events import ArrayEventQueue, Event, EventKind, EventQueue, make_event_queue
 from repro.grid.job import Job, JobRecord, JobState
 from repro.grid.reliability import (
     BUILTIN_LAWS,
@@ -26,12 +31,21 @@ from repro.grid.security import (
     risk_tolerance,
 )
 from repro.grid.site import Grid, Site
-from repro.grid.trace import Attempt, AttemptLog
+from repro.grid.timeline import DynamicTimeline, SiteOutage
+from repro.grid.trace import (
+    TRACE_SCHEMA_VERSION,
+    Attempt,
+    AttemptLog,
+    GridTrace,
+    load_trace,
+    save_trace,
+)
 
 __all__ = [
     "Batch",
     "ScheduleResult",
     "check_order_permutation",
+    "snapshot_batch",
     "GridSimulator",
     "SimulationResult",
     "SchedulerDeadlock",
@@ -41,6 +55,8 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "ArrayEventQueue",
+    "make_event_queue",
     "Job",
     "JobRecord",
     "JobState",
@@ -62,4 +78,10 @@ __all__ = [
     "make_failure_law",
     "Attempt",
     "AttemptLog",
+    "GridTrace",
+    "TRACE_SCHEMA_VERSION",
+    "save_trace",
+    "load_trace",
+    "DynamicTimeline",
+    "SiteOutage",
 ]

@@ -15,7 +15,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Batch", "ScheduleResult", "check_order_permutation"]
+__all__ = [
+    "Batch",
+    "ScheduleResult",
+    "check_order_permutation",
+    "snapshot_batch",
+]
 
 
 def check_order_permutation(assignment, order) -> None:
@@ -103,6 +108,51 @@ class Batch:
     def completion(self) -> np.ndarray:
         """Expected completion matrix ``max(ready, now) + etc``."""
         return np.maximum(self.ready, self.now)[None, :] + self.etc
+
+
+def snapshot_batch(
+    jobs,
+    grid,
+    now: float = 0.0,
+    *,
+    ready=None,
+    secure_only=None,
+) -> Batch:
+    """Snapshot a residual job set and a grid into a :class:`Batch`.
+
+    This is the bridge behind the unified ``ScheduleFn`` protocol
+    (:func:`repro.registry.bind_scheduler`): any collection of
+    :class:`~repro.grid.job.Job` objects plus a
+    :class:`~repro.grid.site.Grid` becomes the exact structure every
+    scheduler consumes, without going through the engine.  ``ready``
+    defaults to all sites free at ``now``; ``secure_only`` defaults to
+    no job being restricted.
+    """
+    from repro.grid.etc import etc_matrix  # deferred: keep batch.py leaf-light
+
+    jobs = list(jobs)
+    job_ids = np.array([j.job_id for j in jobs], dtype=int)
+    workloads = np.array([j.workload for j in jobs], dtype=float)
+    sds = np.array([j.security_demand for j in jobs], dtype=float)
+    if secure_only is None:
+        secure_only = np.zeros(len(jobs), dtype=bool)
+    else:
+        secure_only = np.asarray(secure_only, dtype=bool)
+    if ready is None:
+        ready = np.full(grid.n_sites, float(now), dtype=float)
+    else:
+        ready = np.maximum(np.asarray(ready, dtype=float), float(now))
+    return Batch(
+        now=float(now),
+        job_ids=job_ids,
+        workloads=workloads,
+        security_demands=sds,
+        secure_only=secure_only,
+        etc=etc_matrix(workloads, grid.speeds),
+        ready=ready,
+        site_security=grid.security_levels.copy(),
+        speeds=grid.speeds.copy(),
+    )
 
 
 @dataclass(frozen=True)

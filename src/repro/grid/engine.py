@@ -16,10 +16,20 @@ The engine is scheduler-agnostic: anything exposing
 :mod:`repro.heuristics.base`) plugs in, which is how the six
 security-driven heuristics and the STGA are all evaluated on identical
 event streams.
+
+Dynamic runs pass a :class:`~repro.grid.timeline.DynamicTimeline` to
+:meth:`GridSimulator.run`, which injects CANCEL / SITE_DOWN / SITE_UP
+events and per-job execution-time factors, and — when the timeline is
+*online* — replaces the periodic tick with event-driven rescheduling:
+every disruptive event (arrival, completion, cancellation, site
+recovery) re-runs the scheduler on the residual job set, and only the
+jobs whose assigned site is free *now* are started.  A static run
+(``timeline=None``) takes exactly the pre-existing code path.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
@@ -32,6 +42,7 @@ from repro.grid.job import Job, JobRecord, JobState
 from repro.grid.reliability import ExponentialFailure, FailureLaw
 from repro.grid.security import DEFAULT_LAMBDA
 from repro.grid.site import Grid
+from repro.grid.timeline import DynamicTimeline
 from repro.grid.trace import Attempt, AttemptLog
 from repro.util.backend import resolve_backend
 from repro.util.rng import as_generator
@@ -60,6 +71,12 @@ class SimulationResult:
     #: per-attempt execution trace; populated only when the simulator
     #: was built with ``record_attempts=True``
     attempts: AttemptLog | None = None
+    #: jobs withdrawn by a CANCEL event before ever running to
+    #: completion (their records carry ``JobState.CANCELLED`` and NaN
+    #: completion times; the metrics layer excludes them)
+    n_cancelled: int = 0
+    #: the dynamic timeline this run executed under, if any
+    timeline: DynamicTimeline | None = None
 
     @property
     def n_jobs(self) -> int:
@@ -169,8 +186,19 @@ class GridSimulator:
         self.stopwatch = Stopwatch()
 
     # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[Job] | Iterable[Job]) -> SimulationResult:
-        """Simulate ``jobs`` to completion and return the result."""
+    def run(
+        self,
+        jobs: Sequence[Job] | Iterable[Job],
+        *,
+        timeline: DynamicTimeline | None = None,
+    ) -> SimulationResult:
+        """Simulate ``jobs`` to completion and return the result.
+
+        ``timeline`` layers a dynamic event stream onto the run; with
+        the default ``None`` the simulation is the pure static model
+        and its event stream, RNG draws and result are byte-identical
+        to versions of this engine that predate dynamic scenarios.
+        """
         jobs = list(jobs)
         if not jobs:
             raise ValueError("cannot simulate an empty workload")
@@ -182,6 +210,27 @@ class GridSimulator:
         events = make_event_queue(self.backend)
         for j in jobs:
             events.push(Event(j.arrival, EventKind.ARRIVAL, j.job_id))
+
+        online = timeline is not None and timeline.online
+        self._exec_factors = {}
+        outage_ends: dict[int, deque] = {}
+        if timeline is not None:
+            for jid, t in timeline.cancels:
+                if jid not in by_id:
+                    raise ValueError(f"timeline cancels unknown job {jid}")
+                events.push(Event(t, EventKind.CANCEL, jid))
+            for outage in timeline.outages:
+                if outage.site_id >= self.grid.n_sites:
+                    raise ValueError(
+                        f"timeline outage names unknown site {outage.site_id}"
+                    )
+                events.push(Event(outage.start, EventKind.SITE_DOWN, outage.site_id))
+                events.push(Event(outage.end, EventKind.SITE_UP, outage.site_id))
+                outage_ends.setdefault(outage.site_id, deque()).append(outage.end)
+            for jid, factor in timeline.exec_factors:
+                if jid not in by_id:
+                    raise ValueError(f"timeline factor names unknown job {jid}")
+                self._exec_factors[jid] = factor
 
         # Per-job columns gathered batch-by-batch in _build_batch; the
         # secure flag mirrors records[i].secure_only (flipped only in
@@ -199,13 +248,18 @@ class GridSimulator:
         tick_pending = False
         n_batches = 0
         n_forced = 0
+        n_cancelled = 0
         batch_sizes: list[int] = []
         done = 0
 
         def ensure_tick(now: float) -> None:
+            # Online mode replaces the periodic tick with an immediate
+            # replan: SCHEDULE has the lowest same-timestamp priority,
+            # so a tick at `now` still sees every co-timed event.
             nonlocal tick_pending
             if not tick_pending:
-                events.push(Event(now + self.batch_interval, EventKind.SCHEDULE))
+                delay = 0.0 if online else self.batch_interval
+                events.push(Event(now + delay, EventKind.SCHEDULE))
                 tick_pending = True
 
         while done < len(jobs):
@@ -219,6 +273,37 @@ class GridSimulator:
             if ev.kind is EventKind.ARRIVAL:
                 queue.append(ev.payload)
                 ensure_tick(now)
+                continue
+
+            if ev.kind is EventKind.CANCEL:
+                # Reneging: only a job still waiting in the queue can
+                # be withdrawn; running/finished jobs ignore it.
+                try:
+                    queue.remove(ev.payload)
+                except ValueError:
+                    continue
+                rec = records[by_id[ev.payload]]
+                rec.state = JobState.CANCELLED
+                done += 1
+                n_cancelled += 1
+                if online and queue:
+                    ensure_tick(now)
+                continue
+
+            if ev.kind is EventKind.SITE_DOWN:
+                # Model an outage as an advance reservation: the site
+                # accepts no new attempt before the matching SITE_UP.
+                # Attempts already in flight drain normally.
+                site = ev.payload
+                end = outage_ends[site].popleft()
+                free[site] = max(float(free[site]), end)
+                continue
+
+            if ev.kind is EventKind.SITE_UP:
+                # Capacity is back; in online mode that is a replan
+                # opportunity for whatever is still queued.
+                if online and queue:
+                    ensure_tick(now)
                 continue
 
             if ev.kind is EventKind.COMPLETION:
@@ -236,6 +321,8 @@ class GridSimulator:
                 else:
                     rec.state = JobState.DONE
                     done += 1
+                    if online and queue:
+                        ensure_tick(now)
                 continue
 
             # SCHEDULE tick
@@ -249,19 +336,24 @@ class GridSimulator:
                 result = self.scheduler.schedule(batch)
             self._check_result(result, batch)
 
-            dispatched = self._dispatch(
-                now, batch, result, records, by_id, free, busy, outcome, events
-            )
+            if online:
+                dispatched, deferred = self._dispatch_online(
+                    now, batch, result, records, by_id, free, busy, outcome, events
+                )
+            else:
+                dispatched = self._dispatch(
+                    now, batch, result, records, by_id, free, busy, outcome, events
+                )
+                deferred = [
+                    batch_ids[i]
+                    for i in range(batch.n_jobs)
+                    if result.assignment[i] < 0
+                ]
             running += dispatched
             if dispatched:
                 n_batches += 1
                 batch_sizes.append(dispatched)
 
-            deferred = [
-                batch_ids[i]
-                for i in range(batch.n_jobs)
-                if result.assignment[i] < 0
-            ]
             if deferred:
                 queue.extend(deferred)
                 if running == 0 and len(events) == 0:
@@ -277,10 +369,16 @@ class GridSimulator:
                     )
                     running += len(deferred)
                     queue.clear()
-                else:
+                elif not online:
                     ensure_tick(now)
+                # Online: re-ticking at `now` with unchanged state
+                # would loop forever; the next disruptive event
+                # (completion, arrival, cancel, site recovery) replans.
 
-        makespan = max(r.completion for r in records)
+        completed = [
+            r.completion for r in records if r.state is not JobState.CANCELLED
+        ]
+        makespan = max(completed) if completed else 0.0
         log = self._log
         self._log = None
         return SimulationResult(
@@ -293,6 +391,8 @@ class GridSimulator:
             scheduler_seconds=self.stopwatch.total("scheduler"),
             batch_sizes=batch_sizes,
             attempts=log,
+            n_cancelled=n_cancelled,
+            timeline=timeline,
         )
 
     # ------------------------------------------------------------------
@@ -348,6 +448,10 @@ class GridSimulator:
         speed = float(self.grid.speeds[site_idx])
         start = max(float(free[site_idx]), now)
         exec_time = rec.job.workload / speed
+        if self._exec_factors:
+            factor = self._exec_factors.get(rec.job.job_id)
+            if factor is not None:
+                exec_time *= factor
 
         pfail = self.failure_law.probability(rec.job.security_demand, sl)
         fails = bool(self.rng.random() < pfail)
@@ -400,6 +504,32 @@ class GridSimulator:
             self._start_attempt(now, rec, s, free, busy, outcome, events)
             dispatched += 1
         return dispatched
+
+    def _dispatch_online(
+        self, now, batch, result, records, by_id, free, busy, outcome, events
+    ) -> tuple[int, list[int]]:
+        """Online-mode dispatch: start only what can run *now*.
+
+        At most one attempt per currently-free site; every other job —
+        scheduler-deferred or aimed at a busy/down site — stays queued
+        (in original queue order) for the next disruptive-event
+        replan, which re-runs the scheduler on the residual set.
+        """
+        assignment = np.asarray(result.assignment, dtype=int)
+        taken = np.zeros(batch.n_jobs, dtype=bool)
+        dispatched = 0
+        for i in np.asarray(result.order, dtype=int):
+            s = int(assignment[i])
+            if float(free[s]) > now:
+                continue  # site busy or in an outage window: hold
+            rec = records[by_id[int(batch.job_ids[i])]]
+            self._start_attempt(now, rec, s, free, busy, outcome, events)
+            taken[i] = True
+            dispatched += 1
+        deferred = [
+            int(batch.job_ids[i]) for i in range(batch.n_jobs) if not taken[i]
+        ]
+        return dispatched, deferred
 
     def _force_dispatch(
         self, now, job_ids, records, by_id, free, busy, outcome, events

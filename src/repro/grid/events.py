@@ -7,13 +7,19 @@ paper's Figure 1:
 * ``SCHEDULE``    — the periodic batch-scheduling tick;
 * ``COMPLETION``  — a running attempt ends (successfully or failed).
 
-Events at equal timestamps are ordered ARRIVAL < SCHEDULE < COMPLETION
-is *not* what we want: completions must be processed before the
-scheduling tick at the same instant (so the freed site's state and a
-failed job's resubmission are visible to the scheduler), and arrivals
-likewise.  Hence the kind-priority ordering COMPLETION < ARRIVAL <
-SCHEDULE, with a monotone sequence number as the final tie-breaker for
-determinism.
+Dynamic scenarios (:mod:`repro.workloads.dynamics`) add three more:
+
+* ``SITE_UP`` / ``SITE_DOWN`` — a site recovers from / enters an
+  outage window drawn by the event director;
+* ``CANCEL``  — a waiting job is withdrawn by its submitter.
+
+Events at equal timestamps are ordered by kind priority: completions
+first (the freed site's state and a failed job's resubmission must be
+visible to anything later at the same instant), then site state
+changes (recovery before the next breakdown), then arrivals and
+cancellations (queue membership settles), and the scheduling tick
+last so it always observes the fully settled state.  A monotone
+sequence number is the final tie-breaker for determinism.
 """
 
 from __future__ import annotations
@@ -37,19 +43,27 @@ __all__ = [
 
 
 class EventKind(enum.IntEnum):
-    """Event kinds in same-timestamp processing order."""
+    """Event kinds in same-timestamp processing order.
+
+    The numeric values *are* the same-timestamp priority; static runs
+    only ever enqueue COMPLETION/ARRIVAL/SCHEDULE, whose relative
+    order is unchanged by the dynamic kinds slotted between them.
+    """
 
     COMPLETION = 0
-    ARRIVAL = 1
-    SCHEDULE = 2
+    SITE_UP = 1
+    SITE_DOWN = 2
+    ARRIVAL = 3
+    CANCEL = 4
+    SCHEDULE = 5
 
 
 @dataclass(frozen=True, slots=True)
 class Event:
     """A scheduled simulation event.
 
-    ``payload`` is the job id for ARRIVAL/COMPLETION events and unused
-    for SCHEDULE ticks.
+    ``payload`` is the job id for ARRIVAL/COMPLETION/CANCEL events,
+    the site id for SITE_DOWN/SITE_UP, and unused for SCHEDULE ticks.
     """
 
     time: float
@@ -116,6 +130,12 @@ class ArrayEventQueue:
     pushes go to a ``heapq`` overflow; each pop takes the smaller of
     the two heads under the same ``(time, kind, seq)`` total order.
 
+    The overflow path is public API: callers that know the up-front
+    event set is complete may call :meth:`freeze` explicitly, after
+    which every further :meth:`push` — the dynamic CANCEL/SITE_DOWN/
+    SITE_UP stream included — lands on the heap segment.  (The first
+    pop freezes implicitly, so calling it is never required.)
+
     Because the sequence number is unique and monotone across both
     segments, the pop order is **identical** to :class:`EventQueue` for
     any push/pop interleaving — enforced by the parity suite.
@@ -138,7 +158,15 @@ class ArrayEventQueue:
         else:
             heapq.heappush(self._heap, item)
 
-    def _freeze(self) -> None:
+    def freeze(self) -> None:
+        """Seal the up-front push buffer into the sorted static segment.
+
+        Idempotent; implicit on the first pop.  After freezing, pushes
+        take the heap overflow path, which preserves the global pop
+        order — this is the entry point dynamic event streams use.
+        """
+        if self._static is not None:
+            return
         arr = np.array(self._pending, dtype=EVENT_DTYPE)
         self._pending.clear()
         order = np.lexsort((arr["seq"], arr["kind"], arr["time"]))
@@ -156,7 +184,7 @@ class ArrayEventQueue:
         if self._static is None:
             if not self._pending:
                 raise IndexError("pop from an empty event queue")
-            self._freeze()
+            self.freeze()
         head = self._static_head()
         if self._heap and (head is None or self._heap[0][:3] < head):
             time, kind, _, payload = heapq.heappop(self._heap)
@@ -171,7 +199,7 @@ class ArrayEventQueue:
     def peek_time(self) -> float:
         """Timestamp of the earliest event (inf if empty)."""
         if self._static is None and self._pending:
-            self._freeze()
+            self.freeze()
         head = self._static_head()
         times = [t for t in (
             head[0] if head is not None else None,

@@ -63,6 +63,7 @@ class JobState(enum.Enum):
     RUNNING = "running"  # dispatched, attempt in flight
     DONE = "done"  # completed successfully
     FAILED = "failed"  # last attempt failed; queued for secure retry
+    CANCELLED = "cancelled"  # withdrawn while waiting (dynamic runs)
 
 
 @dataclass(slots=True)

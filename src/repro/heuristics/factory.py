@@ -12,6 +12,12 @@ registry entry named ``"<algorithm>-<mode>"`` (``"min-min-risky"``,
 its secure mode — the same default :func:`make_heuristic` uses.  Refs
 accept an ``f`` parameter (``"min-min-f-risky?f=0.3"``) overriding the
 defaults' f = 0.5.
+
+The registry refs are the primary construction surface: prefer
+``repro.registry.bind_scheduler("min-min-risky", settings)`` — which
+also gives the unified ``ScheduleFn`` call protocol — over calling
+:func:`make_heuristic` / :func:`paper_heuristics` directly.  Both
+remain as thin shims for older drivers and tests.
 """
 
 from __future__ import annotations
@@ -107,7 +113,14 @@ def make_heuristic(
     **kwargs,
 ) -> BatchScheduler:
     """Instantiate a heuristic by name, e.g. ``make_heuristic("min-min",
-    "risky")``."""
+    "risky")``.
+
+    Deprecation shim: new code should go through the scheduler
+    registry — ``bind_scheduler("min-min-risky", settings)`` — which
+    resolves the same classes plus ref parameters and the unified
+    call protocol.  Kept because direct construction stays handy in
+    unit tests and ablation scripts.
+    """
     key = algorithm.lower()
     if key not in HEURISTIC_CLASSES:
         raise KeyError(
@@ -121,7 +134,12 @@ def paper_heuristics(
     *, f: float = 0.5, lam: float = DEFAULT_LAMBDA
 ) -> list[BatchScheduler]:
     """The six heuristics of the paper's Figures 8-9, in order:
-    Min-Min {secure, f-risky, risky}, Sufferage {secure, f-risky, risky}."""
+    Min-Min {secure, f-risky, risky}, Sufferage {secure, f-risky, risky}.
+
+    Deprecation shim: ``run_lineup`` now builds this lineup from
+    registry refs (:data:`repro.experiments.runner.PAPER_LINEUP`);
+    prefer passing ``lineup=`` refs over pre-built instances.
+    """
     out: list[BatchScheduler] = []
     for cls in (MinMinScheduler, SufferageScheduler):
         for mode in (RiskMode.SECURE, RiskMode.F_RISKY, RiskMode.RISKY):

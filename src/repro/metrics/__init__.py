@@ -10,6 +10,7 @@ from repro.metrics.compare import (
 from repro.metrics.report import PerformanceReport, evaluate
 from repro.metrics.timeseries import (
     backlog_series,
+    due_date_violations,
     failure_timeline,
     running_series,
     utilization_series,
@@ -29,4 +30,5 @@ __all__ = [
     "utilization_series",
     "failure_timeline",
     "waste_fraction",
+    "due_date_violations",
 ]

@@ -26,6 +26,7 @@ from dataclasses import dataclass, fields
 import numpy as np
 
 from repro.grid.engine import SimulationResult
+from repro.grid.job import JobState
 
 __all__ = ["PerformanceReport", "evaluate"]
 
@@ -143,13 +144,28 @@ class PerformanceReport:
 
 
 def evaluate(result: SimulationResult, scheduler_name: str | None = None):
-    """Compute a :class:`PerformanceReport` from a simulation result."""
+    """Compute a :class:`PerformanceReport` from a simulation result.
+
+    Jobs cancelled by a dynamic timeline never completed by design;
+    their records are excluded from the time-based averages (``n_jobs``
+    still counts the whole workload).  A *non-cancelled* job without a
+    completion time is still an error.
+    """
     records = result.records
     if not records:
         raise ValueError("simulation result has no job records")
     completions = result.completions()
     arrivals = result.arrivals()
     starts = result.first_starts()
+    kept = np.array(
+        [r.state is not JobState.CANCELLED for r in records], dtype=bool
+    )
+    if not kept.any():
+        raise ValueError("every job was cancelled; cannot evaluate")
+    if not kept.all():
+        completions = completions[kept]
+        arrivals = arrivals[kept]
+        starts = starts[kept]
     if np.isnan(completions).any():
         raise ValueError("some jobs never completed; cannot evaluate")
 

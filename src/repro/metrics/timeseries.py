@@ -10,7 +10,10 @@ regime the paper describes) time-resolved views are more telling:
 * :func:`utilization_series` — per-interval grid utilization;
 * :func:`failure_timeline` — cumulative failed attempts over time;
 * :func:`waste_fraction` — share of consumed site-seconds lost to
-  failed attempts (the price of risk-taking, one number).
+  failed attempts (the price of risk-taking, one number);
+* :func:`due_date_violations` — jobs finishing after the due dates a
+  dynamic scenario's ``due=`` knob assigned
+  (:mod:`repro.workloads.dynamics`).
 
 All functions take the :class:`~repro.grid.trace.AttemptLog` (and the
 simulation result where needed) and return ``(times, values)`` pairs
@@ -22,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.grid.engine import SimulationResult
+from repro.grid.job import JobState
 from repro.grid.trace import AttemptLog
 
 __all__ = [
@@ -30,6 +34,7 @@ __all__ = [
     "utilization_series",
     "failure_timeline",
     "waste_fraction",
+    "due_date_violations",
 ]
 
 
@@ -121,3 +126,37 @@ def waste_fraction(log: AttemptLog) -> float:
     if total == 0:
         raise ValueError("attempt log has no busy time")
     return log.wasted_time() / total
+
+
+def due_date_violations(
+    result: SimulationResult,
+) -> tuple[tuple[int, float], ...]:
+    """Jobs that finished after their assigned due date.
+
+    Consumes the due dates a dynamic scenario's ``due=`` knob attached
+    to the run (``result.timeline.due_dates``); returns
+    ``(job_id, lateness)`` pairs in job-id order, lateness strictly
+    positive.  Cancelled jobs never violate (they withdrew), and jobs
+    without a due date are skipped.  Raises ``ValueError`` when the
+    result carries no timeline or the timeline assigns no due dates —
+    "zero violations" and "due dates were never in play" must not be
+    conflated.
+    """
+    timeline = result.timeline
+    if timeline is None or not timeline.due_dates:
+        raise ValueError(
+            "the run has no due dates; generate the scenario with the "
+            "due= dynamics knob (see repro.workloads.dynamics)"
+        )
+    due = timeline.due_map()
+    out = []
+    for rec in result.records:
+        if rec.state is JobState.CANCELLED:
+            continue
+        deadline = due.get(rec.job.job_id)
+        if deadline is None:
+            continue
+        lateness = float(rec.completion) - float(deadline)
+        if lateness > 0:
+            out.append((rec.job.job_id, lateness))
+    return tuple(sorted(out))

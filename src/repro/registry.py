@@ -77,17 +77,43 @@ with these rules (see :func:`parse_scheduler_ref`):
   other, and the process-wide ``REPRO_BACKEND`` environment variable
   covers schedulers addressed without it.
 
+Unified invocation (``ScheduleFn``)
+-----------------------------------
+:func:`bind_scheduler` (or :meth:`SchedulerSpec.bind`) wraps the built
+scheduler in a :class:`BoundScheduler` exposing one call signature ::
+
+    bound(snapshot, sites, now) -> ScheduleResult
+
+where ``snapshot`` is the residual job set (a
+:class:`~repro.workloads.base.Scenario` or any iterable of jobs) and
+``sites`` a :class:`~repro.grid.site.Grid`.  The engine's batch
+protocol (``bound.schedule(batch)``) and the report name
+(``bound.name``) delegate unchanged, so a bound scheduler drops into
+``GridSimulator`` *and* the online rescheduling / replay loops — STGA
+and all heuristic refs through the same surface.
+
 Workloads
 ---------
 A :class:`WorkloadSpec` wraps a scenario builder ::
 
-    build(variant, seed: int, scale: float) -> (Scenario, Scenario | None)
+    build(variant, seed: int, scale: float, **params)
+        -> (Scenario, Scenario | None)
 
 returning the live scenario and the (optional) training stream for one
 replication of a :class:`~repro.experiments.sweep.ScenarioVariant`.
 An optional ``validate(variant)`` hook lets a generator reject knobs
 it does not support (e.g. NAS rejects ``arrival_rate``), keeping the
 policy next to the generator instead of hard-coded in the sweep.
+
+Workload refs use the same grammar as scheduler refs
+(:func:`parse_workload_ref`): ``variant.workload`` may be a bare name
+(``"psa"``) or carry parameters (``"replay?path=run.jsonl"``).  The
+dynamic-scenario keys (``dynamics``, ``cancel``, ``breakdown``,
+``repair``, ``ptvar``, ``due``, ``online`` — see
+:mod:`repro.workloads.dynamics`) are split off and applied by the
+event director *on top of* whatever the named generator built, so
+``"nas?dynamics=poisson&breakdown=0.01"`` is just another ref; any
+other key is forwarded to the generator itself.
 
 Built-in entries register where they are defined (the six paper
 heuristics and the extra baselines in
@@ -100,6 +126,7 @@ heuristics and the extra baselines in
 
 from __future__ import annotations
 
+import inspect
 import json
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
@@ -116,7 +143,10 @@ __all__ = [
     "available_schedulers",
     "available_workloads",
     "parse_scheduler_ref",
+    "parse_workload_ref",
     "build_scheduler",
+    "bind_scheduler",
+    "BoundScheduler",
     "build_workload",
     "validate_variant",
 ]
@@ -132,6 +162,20 @@ class SchedulerSpec:
     aliases: tuple[str, ...] = ()
     #: carries per-run state (history tables, RNG streams); informational
     stateful: bool = False
+
+    def bind(self, settings, rng=None, **context) -> "BoundScheduler":
+        """Build this entry and wrap it in the unified ``ScheduleFn``
+        surface (see :class:`BoundScheduler`).
+
+        ``rng`` defaults to a fresh
+        :class:`~repro.util.rng.RngFactory` rooted at
+        ``settings.seed``, exactly as :func:`build_scheduler` does.
+        """
+        from repro.util.rng import RngFactory
+
+        if rng is None:
+            rng = RngFactory(settings.seed)
+        return BoundScheduler(self.build(settings, rng, **context))
 
 
 @dataclass(frozen=True)
@@ -157,6 +201,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.runner",
     "repro.workloads.psa",
     "repro.workloads.nas",
+    "repro.workloads.dynamics",
 )
 _builtins_loaded = False
 
@@ -295,6 +340,23 @@ def _parse_scalar(raw: str):
         return raw
 
 
+def _parse_ref(ref: str, what: str) -> tuple[str, dict]:
+    name, sep, query = ref.partition("?")
+    if not name:
+        raise ValueError(f"{what} ref {ref!r} has an empty name")
+    params: dict = {}
+    if sep and query:
+        for item in query.split("&"):
+            key, eq, raw = item.partition("=")
+            if not eq or not key:
+                raise ValueError(
+                    f"bad parameter {item!r} in {what} ref {ref!r} "
+                    "(expected key=value)"
+                )
+            params[key] = _parse_scalar(raw)
+    return name, params
+
+
 def parse_scheduler_ref(ref: str) -> tuple[str, dict]:
     """Split ``"name?key=value&..."`` into (name, params).
 
@@ -308,20 +370,18 @@ def parse_scheduler_ref(ref: str) -> tuple[str, dict]:
     name is *not* resolved here — pass it to :func:`scheduler_spec`
     for that.
     """
-    name, sep, query = ref.partition("?")
-    if not name:
-        raise ValueError(f"scheduler ref {ref!r} has an empty name")
-    params: dict = {}
-    if sep and query:
-        for item in query.split("&"):
-            key, eq, raw = item.partition("=")
-            if not eq or not key:
-                raise ValueError(
-                    f"bad parameter {item!r} in scheduler ref {ref!r} "
-                    "(expected key=value)"
-                )
-            params[key] = _parse_scalar(raw)
-    return name, params
+    return _parse_ref(ref, "scheduler")
+
+
+def parse_workload_ref(ref: str) -> tuple[str, dict]:
+    """Split a workload ref into (name, params) — same grammar as
+    :func:`parse_scheduler_ref`.
+
+    The dynamic-scenario keys among the params are consumed by
+    :func:`build_workload` itself (handed to the event director);
+    everything else reaches the generator's ``build``.
+    """
+    return _parse_ref(ref, "workload")
 
 
 class _LabeledScheduler:
@@ -381,17 +441,138 @@ def build_scheduler(ref: str, settings, rng=None, **context):
     return sched
 
 
+class BoundScheduler:
+    """The unified ``ScheduleFn`` surface around a built scheduler.
+
+    Three equivalent entry points, one decision procedure:
+
+    * ``bound(snapshot, sites, now)`` — the protocol call: snapshot a
+      residual job set against a grid at simulation time ``now`` (via
+      :func:`repro.grid.batch.snapshot_batch`) and schedule it;
+    * ``bound.schedule(batch)`` — the engine's batch protocol,
+      delegated verbatim (so a bound scheduler *is* a valid
+      ``GridSimulator`` scheduler);
+    * ``bound.name`` — the report name, delegated.
+
+    Every other attribute passes through to the wrapped scheduler.
+    """
+
+    def __init__(self, inner) -> None:
+        if not hasattr(inner, "schedule"):
+            raise TypeError(
+                f"scheduler {inner!r} lacks a schedule(batch) method"
+            )
+        self._inner = inner
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    def schedule(self, batch):
+        return self._inner.schedule(batch)
+
+    def __call__(self, snapshot, sites, now: float = 0.0, *,
+                 ready=None, secure_only=None):
+        from repro.grid.batch import snapshot_batch
+
+        jobs = getattr(snapshot, "jobs", snapshot)
+        batch = snapshot_batch(
+            jobs, sites, now, ready=ready, secure_only=secure_only
+        )
+        return self._inner.schedule(batch)
+
+    def __getattr__(self, attr):
+        return getattr(self._inner, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Bound {self._inner!r}>"
+
+
+def bind_scheduler(ref: str, settings, rng=None, **context) -> BoundScheduler:
+    """:func:`build_scheduler`, wrapped in the unified ``ScheduleFn``
+    surface.
+
+    This is the invocation path the experiment runner, the online
+    rescheduling loop and trace replay all share; prefer it over
+    calling scheduler classes or :mod:`repro.heuristics.factory`
+    helpers directly.
+    """
+    return BoundScheduler(build_scheduler(ref, settings, rng, **context))
+
+
+def _dynamics_module():
+    # Deferred: repro.workloads.dynamics imports this module for
+    # @register_workload, so a top-level import would be circular.
+    import repro.workloads.dynamics as dynamics
+
+    return dynamics
+
+
 def build_workload(variant, seed: int, scale: float = 1.0):
     """(scenario, training) for one replication of ``variant``.
 
-    Dispatches on ``variant.workload``; see :class:`WorkloadSpec` for
-    the builder contract.
+    ``variant.workload`` is parsed as a ref: the named generator
+    builds the base scenario (receiving any non-dynamics params as
+    keyword arguments), then the event director applies whatever
+    dynamic-scenario keys the ref carried.
     """
-    return workload_spec(variant.workload).build(variant, seed, scale)
+    name, params = parse_workload_ref(variant.workload)
+    spec = workload_spec(name)
+    dynamics = _dynamics_module()
+    dyn_params = {
+        key: params.pop(key)
+        for key in list(params)
+        if key in dynamics.DYNAMICS_PARAMS
+    }
+    scenario, training = spec.build(variant, seed, scale, **params)
+    if dyn_params:
+        scenario = dynamics.apply_dynamics(scenario, seed=seed, **dyn_params)
+    return scenario, training
 
 
 def validate_variant(variant) -> None:
-    """Run the workload's variant validator (if any); raises ValueError."""
-    spec = workload_spec(variant.workload)
+    """Run the workload's variant validator (if any); raises ValueError.
+
+    Dynamic-scenario params in the ref are validated here too, so a
+    bad ``breakdown=-1`` fails at variant construction rather than
+    mid-sweep, and so do params the generator's ``build`` cannot
+    accept — a typo'd knob must not surface as a ``TypeError``
+    traceback inside a worker process.
+    """
+    name, params = parse_workload_ref(variant.workload)
+    spec = workload_spec(name)
+    dynamics = _dynamics_module()
+    dyn_params = {
+        key: value
+        for key, value in params.items()
+        if key in dynamics.DYNAMICS_PARAMS
+    }
+    if dyn_params:
+        dynamics.validate_dynamics_params(dyn_params)
+    extra = [key for key in params if key not in dyn_params]
+    if extra:
+        signature = inspect.signature(spec.build)
+        takes_kwargs = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in signature.parameters.values()
+        )
+        if not takes_kwargs:
+            accepted = [
+                pname
+                for pname, p in signature.parameters.items()
+                if p.kind
+                in (
+                    inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                    inspect.Parameter.KEYWORD_ONLY,
+                )
+                and pname not in ("variant", "seed", "scale")
+            ]
+            unknown = sorted(set(extra) - set(accepted))
+            if unknown:
+                known = sorted(accepted) + sorted(dynamics.DYNAMICS_PARAMS)
+                raise ValueError(
+                    f"workload {name!r} does not accept param(s) "
+                    f"{unknown}; known: {known}"
+                )
     if spec.validate is not None:
         spec.validate(variant)

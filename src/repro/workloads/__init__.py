@@ -13,6 +13,13 @@ from repro.workloads.arrivals import (
     poisson_arrivals,
 )
 from repro.workloads.base import Scenario
+from repro.workloads.dynamics import (
+    DYNAMICS_PARAMS,
+    DynamicScenario,
+    apply_dynamics,
+    scenario_from_trace,
+    validate_dynamics_params,
+)
 from repro.workloads.nas import NASConfig, nas_grid, nas_scenario
 from repro.workloads.psa import PSAConfig, psa_scenario
 from repro.workloads.security import (
@@ -24,6 +31,11 @@ from repro.workloads.security import (
 
 __all__ = [
     "Scenario",
+    "DynamicScenario",
+    "DYNAMICS_PARAMS",
+    "apply_dynamics",
+    "validate_dynamics_params",
+    "scenario_from_trace",
     "WorkloadProfile",
     "profile_scenario",
     "hourly_histogram",

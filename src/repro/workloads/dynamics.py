@@ -1,0 +1,292 @@
+"""The event director: dynamic processes layered onto any workload.
+
+The paper evaluates static batches, but its central mechanism — the
+history table warm-starting the STGA — earns its keep when the grid
+*churns*.  This module is the churn generator.  Given a base
+:class:`~repro.workloads.base.Scenario` from any registered workload,
+:func:`apply_dynamics` layers independent stochastic processes on top
+and returns a :class:`DynamicScenario` carrying a
+:class:`~repro.grid.timeline.DynamicTimeline` for the engine:
+
+* ``dynamics=poisson`` — redraw the arrival stream as a homogeneous
+  Poisson process at the base workload's empirical rate;
+* ``cancel=RATE`` — job reneging: each job draws an exponential
+  patience with mean ``1/RATE`` and withdraws if still queued when it
+  runs out;
+* ``breakdown=RATE`` (+ optional ``repair=RATE``) — per-site
+  alternating exponential up/down times, the classic machine-breakdown
+  model; the default repair rate is ten times the breakdown rate;
+* ``ptvar=SIGMA`` — processing-time variability: per-job lognormal
+  execution-time factors with unit mean (``exp(N(-σ²/2, σ))``);
+* ``due=TIGHTNESS`` — due dates ``arrival + TIGHTNESS · workload /
+  mean_speed`` for the metrics layer;
+* ``online=true`` — switch the engine from periodic batch ticks to
+  event-driven rescheduling of the residual job set.
+
+Every stream is a named child of ``util.rng.RngFactory(seed)``
+(``"dynamics-arrivals"``, ``"dynamics-cancel"``, …), so dynamic runs
+are exactly as deterministic as static ones and independent knobs
+never perturb each other's draws.
+
+These keys travel inside ordinary workload refs —
+``"nas?dynamics=poisson&breakdown=0.01"`` — split off and applied by
+:func:`repro.registry.build_workload`; recorded runs come back as the
+registered ``"replay?path=TRACE.jsonl"`` workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.job import Job
+from repro.grid.timeline import DynamicTimeline, SiteOutage
+from repro.grid.trace import GridTrace, load_trace
+from repro.registry import register_workload
+from repro.util.rng import RngFactory
+from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.base import Scenario
+
+__all__ = [
+    "DYNAMICS_PARAMS",
+    "DynamicScenario",
+    "apply_dynamics",
+    "validate_dynamics_params",
+    "scenario_from_trace",
+]
+
+#: the workload-ref keys the director consumes (everything else in a
+#: ref reaches the base generator's ``build``)
+DYNAMICS_PARAMS = frozenset(
+    {"dynamics", "cancel", "breakdown", "repair", "ptvar", "due", "online"}
+)
+
+
+@dataclass(frozen=True)
+class DynamicScenario(Scenario):
+    """A scenario plus the dynamic timeline the engine should execute.
+
+    Drops in anywhere a :class:`~repro.workloads.base.Scenario` is
+    accepted; the experiment runner forwards ``timeline`` to
+    :meth:`~repro.grid.engine.GridSimulator.run`.
+    """
+
+    timeline: DynamicTimeline = DynamicTimeline()
+
+
+def _positive(params: dict, key: str) -> None:
+    value = params[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"dynamics param {key!r} must be a positive number, got {value!r}"
+        )
+    if not value > 0:
+        raise ValueError(
+            f"dynamics param {key!r} must be positive, got {value!r}"
+        )
+
+
+def validate_dynamics_params(params: dict) -> None:
+    """Reject malformed dynamic-scenario ref params with ``ValueError``.
+
+    Shared by :func:`repro.registry.validate_variant` (so a bad knob
+    fails at variant construction) and :func:`apply_dynamics` itself.
+    """
+    unknown = set(params) - DYNAMICS_PARAMS
+    if unknown:
+        raise ValueError(
+            f"unknown dynamics param(s) {sorted(unknown)}; "
+            f"known: {sorted(DYNAMICS_PARAMS)}"
+        )
+    dynamics = params.get("dynamics")
+    if dynamics is not None and dynamics != "poisson":
+        raise ValueError(
+            f"dynamics must be 'poisson', got {dynamics!r}"
+        )
+    for key in ("cancel", "breakdown", "repair", "ptvar", "due"):
+        if params.get(key) is not None:
+            _positive(params, key)
+    if params.get("repair") is not None and params.get("breakdown") is None:
+        raise ValueError("dynamics param 'repair' requires 'breakdown'")
+    online = params.get("online", False)
+    if not isinstance(online, bool):
+        raise ValueError(
+            f"dynamics param 'online' must be a boolean "
+            f"(online=true / online=false), got {online!r}"
+        )
+
+
+def _redraw_arrivals(
+    scenario: Scenario, rng: np.random.Generator
+) -> tuple[Job, ...]:
+    """Replace arrivals with a Poisson stream at the empirical rate."""
+    jobs = scenario.jobs
+    n = len(jobs)
+    span = scenario.span
+    if n < 2 or span <= 0:
+        raise ValueError(
+            "dynamics=poisson needs a workload with a positive arrival span"
+        )
+    rate = (n - 1) / span  # n-1 inter-arrival gaps cover the span
+    times = poisson_arrivals(n, rate, rng, start=jobs[0].arrival)
+    return tuple(
+        Job(
+            job_id=j.job_id,
+            arrival=float(t),
+            workload=j.workload,
+            security_demand=j.security_demand,
+            nodes=j.nodes,
+        )
+        for j, t in zip(jobs, times)
+    )
+
+
+def _draw_outages(
+    jobs: tuple[Job, ...],
+    grid,
+    rng: np.random.Generator,
+    breakdown: float,
+    repair: float,
+) -> tuple[SiteOutage, ...]:
+    """Alternating exponential up/down windows per site, id order."""
+    # Enough horizon to cover the whole run: the last arrival plus
+    # twice the serial-execution bound on the grid's total speed.
+    total_work = float(sum(j.workload for j in jobs))
+    horizon = (
+        jobs[-1].arrival + 2.0 * total_work / grid.total_speed + 1.0
+    )
+    outages: list[SiteOutage] = []
+    for site in range(grid.n_sites):
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / breakdown))
+            if t > horizon:
+                break
+            down = float(rng.exponential(1.0 / repair))
+            outages.append(SiteOutage(site_id=site, start=t, end=t + down))
+            t += down
+    return tuple(outages)
+
+
+def apply_dynamics(
+    scenario: Scenario,
+    *,
+    seed: int,
+    dynamics: str | None = None,
+    cancel: float | None = None,
+    breakdown: float | None = None,
+    repair: float | None = None,
+    ptvar: float | None = None,
+    due: float | None = None,
+    online: bool = False,
+) -> DynamicScenario:
+    """Layer the requested dynamic processes onto ``scenario``.
+
+    Each process draws from its own named child stream of
+    ``RngFactory(seed)``, so enabling one knob never shifts another's
+    draws and the whole construction is reproducible from
+    ``(scenario, seed, params)`` alone.
+    """
+    params = {
+        "dynamics": dynamics,
+        "cancel": cancel,
+        "breakdown": breakdown,
+        "repair": repair,
+        "ptvar": ptvar,
+        "due": due,
+        "online": online,
+    }
+    validate_dynamics_params({k: v for k, v in params.items() if v is not None or k == "online"})
+    rngs = RngFactory(seed)
+
+    jobs = scenario.jobs
+    if dynamics == "poisson":
+        jobs = _redraw_arrivals(scenario, rngs.stream("dynamics-arrivals"))
+
+    cancels: tuple[tuple[int, float], ...] = ()
+    if cancel is not None:
+        patience = rngs.stream("dynamics-cancel").exponential(
+            1.0 / cancel, size=len(jobs)
+        )
+        cancels = tuple(
+            (j.job_id, j.arrival + float(p)) for j, p in zip(jobs, patience)
+        )
+
+    outages: tuple[SiteOutage, ...] = ()
+    if breakdown is not None:
+        repair_rate = repair if repair is not None else 10.0 * breakdown
+        outages = _draw_outages(
+            jobs,
+            scenario.grid,
+            rngs.stream("dynamics-breakdown"),
+            breakdown,
+            repair_rate,
+        )
+
+    factors: tuple[tuple[int, float], ...] = ()
+    if ptvar is not None:
+        draws = rngs.stream("dynamics-ptvar").normal(
+            loc=-(ptvar**2) / 2.0, scale=ptvar, size=len(jobs)
+        )
+        factors = tuple(
+            (j.job_id, float(np.exp(d))) for j, d in zip(jobs, draws)
+        )
+
+    dues: tuple[tuple[int, float], ...] = ()
+    if due is not None:
+        mean_speed = float(scenario.grid.speeds.mean())
+        dues = tuple(
+            (j.job_id, j.arrival + due * j.workload / mean_speed) for j in jobs
+        )
+
+    timeline = DynamicTimeline(
+        cancels=cancels,
+        outages=outages,
+        exec_factors=factors,
+        due_dates=dues,
+        online=bool(online),
+    )
+    return DynamicScenario(
+        name=scenario.name,
+        grid=scenario.grid,
+        jobs=jobs,
+        timeline=timeline,
+    )
+
+
+def scenario_from_trace(trace: GridTrace, *, name: str | None = None):
+    """Rebuild the scenario a recorded trace executed.
+
+    Returns a :class:`DynamicScenario` when the trace carries a
+    timeline, else a plain static scenario.
+    """
+    if name is None:
+        name = str(trace.meta.get("name") or "replay")
+    if trace.timeline is not None:
+        return DynamicScenario(
+            name=name, grid=trace.grid, jobs=trace.jobs, timeline=trace.timeline
+        )
+    return Scenario(name=name, grid=trace.grid, jobs=trace.jobs)
+
+
+@register_workload(
+    "replay",
+    description="re-execute a recorded grid trace as a scenario "
+    '(ref: "replay?path=TRACE.jsonl")',
+)
+def _replay_scenarios(variant, seed: int, scale: float = 1.0, *, path=None):
+    """Scenario loaded verbatim from a recorded grid trace.
+
+    The trace pins the grid, the job stream and the dynamic timeline
+    exactly as they were recorded, so ``seed`` and ``scale`` are
+    deliberately ignored and no training stream is returned — replay
+    re-executes, it does not re-generate.
+    """
+    if not path:
+        raise ValueError(
+            'the "replay" workload needs a path parameter, '
+            'e.g. "replay?path=TRACE.jsonl"'
+        )
+    trace = load_trace(str(path))
+    return scenario_from_trace(trace), None

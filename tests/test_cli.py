@@ -917,3 +917,72 @@ class TestServiceCommands:
         assert "cannot reach" in capsys.readouterr().err
         assert main(["cancel", "1", "--url", url]) == 1
         assert "cannot reach" in capsys.readouterr().err
+
+class TestReplayCommand:
+    def test_record_replay_compare_loop(self, capsys, tmp_path):
+        """The dynamic acceptance flow: record traces during a sweep,
+        replay them bit-identically, and gate with compare-runs."""
+        traces = str(tmp_path / "traces")
+        orig = str(tmp_path / "orig")
+        replayed = str(tmp_path / "replayed")
+        assert main([
+            "sweep", "--scale", "0.002",
+            "--sweep-seeds", "2",
+            "--sweep-jobs", "100",
+            "--max-workers", "1",
+            "--sweep-workload", "psa?dynamics=poisson&online=true",
+            "--record-traces", traces,
+            "--out", orig,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and "trace(s)" in out
+        assert main(["replay", traces, "--out", replayed]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "MISMATCH" not in out
+        assert main([
+            "compare-runs", orig, replayed,
+            "--fail-on-regression", "--threshold", "0",
+        ]) == 0
+        assert "0 diverged" in capsys.readouterr().out
+
+    def test_replay_missing_trace_exit_2(self, capsys, tmp_path):
+        assert main(["replay", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_replay_empty_dir_exit_2(self, capsys, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["replay", str(empty)]) == 2
+        assert "no *.jsonl" in capsys.readouterr().err
+
+    def test_replay_mismatch_exit_1(self, capsys, tmp_path):
+        import json as _json
+
+        from repro.experiments.replay import record_cell
+        from repro.experiments.sweep import ScenarioVariant
+        from repro.grid.trace import save_trace
+
+        variant = ScenarioVariant(
+            name="PSA s", workload="psa", n_jobs=20, n_training_jobs=0
+        )
+        trace, _ = record_cell(variant, 2005, "min-min-secure")
+        path = save_trace(tmp_path / "cell.jsonl", trace)
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            row = _json.loads(line)
+            if row.get("row") == "attempt":
+                row["end"] += 1.0
+                lines[i] = _json.dumps(
+                    row, sort_keys=True, separators=(",", ":")
+                )
+                break
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["replay", str(path)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_sweep_bad_workload_ref_exit_2(self, capsys):
+        assert main([
+            "sweep", "--sweep-workload", "psa?breakdown=-1",
+        ]) == 2
+        assert "--sweep-workload" in capsys.readouterr().err

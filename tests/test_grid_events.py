@@ -56,3 +56,127 @@ class TestEventQueue:
             EventQueue().push(Event(-1.0, EventKind.ARRIVAL, 0))
         with pytest.raises(ValueError):
             EventQueue().push(Event(float("nan"), EventKind.ARRIVAL, 0))
+
+
+class TestDynamicEventKinds:
+    def test_same_time_full_kind_priority(self):
+        """All six kinds at one timestamp pop in enum-value order."""
+        q = EventQueue()
+        for kind in reversed(list(EventKind)):
+            q.push(Event(4.0, kind, 1))
+        assert [q.pop().kind for _ in range(len(EventKind))] == list(EventKind)
+
+    def test_dynamic_kinds_slot_between_static_ones(self):
+        """COMPLETION < SITE_UP < SITE_DOWN < ARRIVAL < CANCEL < SCHEDULE."""
+        assert (
+            EventKind.COMPLETION
+            < EventKind.SITE_UP
+            < EventKind.SITE_DOWN
+            < EventKind.ARRIVAL
+            < EventKind.CANCEL
+            < EventKind.SCHEDULE
+        )
+
+    def test_payload_roundtrip_for_site_events(self):
+        q = EventQueue()
+        q.push(Event(1.0, EventKind.SITE_DOWN, 3))
+        q.push(Event(1.0, EventKind.SITE_UP, 3))
+        first, second = q.pop(), q.pop()
+        assert (first.kind, first.payload) == (EventKind.SITE_UP, 3)
+        assert (second.kind, second.payload) == (EventKind.SITE_DOWN, 3)
+
+
+class TestArrayEventQueueFreeze:
+    def test_freeze_is_public_and_idempotent(self):
+        from repro.grid.events import ArrayEventQueue
+
+        q = ArrayEventQueue()
+        q.push(Event(1.0, EventKind.ARRIVAL, 0))
+        q.freeze()
+        q.freeze()  # second call is a no-op, not an error
+        q.push(Event(0.5, EventKind.CANCEL, 0))  # overflow path
+        assert q.pop().kind is EventKind.CANCEL
+        assert q.pop().kind is EventKind.ARRIVAL
+
+    def test_freeze_empty_queue(self):
+        from repro.grid.events import ArrayEventQueue
+
+        q = ArrayEventQueue()
+        q.freeze()
+        q.push(Event(2.0, EventKind.SITE_DOWN, 1))
+        assert q.pop().payload == 1
+        with pytest.raises(IndexError):
+            q.pop()
+
+
+class TestBackendParityDynamicKinds:
+    """Satellite of the dynamic-events engine: the fast queue must pop
+    the new CANCEL/SITE_DOWN/SITE_UP kinds in exactly the reference
+    order, before and after the freeze."""
+
+    def _drain(self, q):
+        out = []
+        while q:
+            out.append(q.pop())
+        return out
+
+    def _mixed_events(self):
+        return [
+            Event(3.0, EventKind.CANCEL, 5),
+            Event(1.0, EventKind.SITE_DOWN, 0),
+            Event(1.0, EventKind.SITE_UP, 0),
+            Event(1.0, EventKind.COMPLETION, 2),
+            Event(1.0, EventKind.CANCEL, 2),
+            Event(1.0, EventKind.ARRIVAL, 9),
+            Event(1.0, EventKind.SCHEDULE),
+            Event(0.0, EventKind.SITE_DOWN, 1),
+            Event(3.0, EventKind.SITE_UP, 1),
+        ]
+
+    def test_pre_freeze_parity(self):
+        from repro.grid.events import ArrayEventQueue
+
+        ref, fast = EventQueue(), ArrayEventQueue()
+        for ev in self._mixed_events():
+            ref.push(ev)
+            fast.push(ev)
+        assert self._drain(fast) == self._drain(ref)
+
+    def test_post_freeze_parity(self):
+        """New kinds pushed through the overflow path keep pop order."""
+        from repro.grid.events import ArrayEventQueue
+
+        ref, fast = EventQueue(), ArrayEventQueue()
+        up_front = [
+            Event(0.0, EventKind.ARRIVAL, 0),
+            Event(2.0, EventKind.ARRIVAL, 1),
+            Event(4.0, EventKind.SCHEDULE),
+        ]
+        for ev in up_front:
+            ref.push(ev)
+            fast.push(ev)
+        fast.freeze()
+        for ev in self._mixed_events():
+            ref.push(ev)
+            fast.push(ev)
+        assert self._drain(fast) == self._drain(ref)
+
+    def test_interleaved_parity(self):
+        from repro.grid.events import ArrayEventQueue
+
+        ref, fast = EventQueue(), ArrayEventQueue()
+        for ev in self._mixed_events():
+            ref.push(ev)
+            fast.push(ev)
+        # pop a few (implicitly freezing the fast queue) ...
+        assert [fast.pop() for _ in range(3)] == [ref.pop() for _ in range(3)]
+        # ... then push more dynamic events mid-drain
+        extra = [
+            Event(0.5, EventKind.SITE_UP, 2),
+            Event(9.0, EventKind.CANCEL, 7),
+            Event(1.0, EventKind.SITE_DOWN, 2),
+        ]
+        for ev in extra:
+            ref.push(ev)
+            fast.push(ev)
+        assert self._drain(fast) == self._drain(ref)

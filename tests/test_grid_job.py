@@ -65,4 +65,5 @@ class TestJobState:
             "running",
             "done",
             "failed",
+            "cancelled",
         }

@@ -118,3 +118,103 @@ class TestEngineIntegration:
                 MinMinScheduler("risky"),
                 failure_law=lambda sd, sl: 0.5,
             )
+
+
+class TestTraceCodec:
+    """The versioned JSONL trace codec (save_trace / load_trace)."""
+
+    def _trace(self, with_timeline=True, with_attempts=True, meta=None):
+        from repro.grid.timeline import DynamicTimeline, SiteOutage
+        from repro.grid.trace import GridTrace
+
+        grid = Grid.from_arrays(
+            speeds=[1.0, 2.0], security_levels=[0.5, 0.9]
+        )
+        jobs = tuple(make_jobs([10.0, 20.0, 30.0], arrivals=[0.0, 1.0, 2.5]))
+        timeline = None
+        if with_timeline:
+            timeline = DynamicTimeline(
+                cancels=((2, 5.5),),
+                outages=(SiteOutage(site_id=0, start=1.0, end=2.0),),
+                exec_factors=((1, 1.25),),
+                due_dates=((0, 40.0), (1, 50.0)),
+                online=True,
+            )
+        log = None
+        if with_attempts:
+            log = AttemptLog()
+            log.record(Attempt(0, 1, 0.0, 5.0, False, True, 1))
+            log.record(Attempt(1, 0, 1.0, 21.0, True, False, 1))
+        return GridTrace(
+            meta=meta if meta is not None else {"name": "t", "seed": 3},
+            grid=grid,
+            jobs=jobs,
+            timeline=timeline,
+            attempts=log,
+        )
+
+    def test_roundtrip_bit_identical(self, tmp_path):
+        from repro.grid.trace import load_trace, save_trace
+
+        trace = self._trace()
+        path = save_trace(tmp_path / "t.jsonl", trace)
+        back = load_trace(path)
+        assert back.meta == trace.meta
+        assert back.grid == trace.grid
+        assert back.jobs == trace.jobs
+        assert back.timeline == trace.timeline
+        assert back.attempts.attempts == trace.attempts.attempts
+        # a second save of the loaded trace is byte-identical
+        path2 = save_trace(tmp_path / "t2.jsonl", back)
+        assert path2.read_bytes() == path.read_bytes()
+
+    def test_roundtrip_static(self, tmp_path):
+        from repro.grid.trace import load_trace, save_trace
+
+        trace = self._trace(with_timeline=False, with_attempts=False)
+        back = load_trace(save_trace(tmp_path / "s.jsonl", trace))
+        assert back.timeline is None and back.attempts is None
+        assert back.jobs == trace.jobs
+
+    def test_unknown_version_refused(self, tmp_path):
+        import json
+
+        from repro.grid.trace import load_trace, save_trace
+
+        path = save_trace(tmp_path / "v.jsonl", self._trace())
+        lines = path.read_text().splitlines()
+        head = json.loads(lines[0])
+        head["schema_version"] = 99
+        path.write_text("\n".join([json.dumps(head)] + lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="schema_version"):
+            load_trace(path)
+
+    def test_unknown_row_refused(self, tmp_path):
+        from repro.grid.trace import load_trace, save_trace
+
+        path = save_trace(tmp_path / "r.jsonl", self._trace())
+        with path.open("a") as fh:
+            fh.write('{"row":"wormhole"}\n')
+        with pytest.raises(ValueError, match="unknown trace row"):
+            load_trace(path)
+
+    def test_not_a_trace_refused(self, tmp_path):
+        from repro.grid.trace import load_trace
+
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"kind":"something-else"}\n')
+        with pytest.raises(ValueError, match="not a grid trace"):
+            load_trace(path)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(empty)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        from repro.grid.trace import save_trace
+
+        save_trace(tmp_path / "a.jsonl", self._trace())
+        leftovers = [
+            p for p in tmp_path.iterdir() if p.name != "a.jsonl"
+        ]
+        assert leftovers == []

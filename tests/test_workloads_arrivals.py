@@ -99,3 +99,60 @@ class TestCyclicArrivals:
         t = cyclic_arrivals(n, days, np.random.default_rng(seed))
         assert t.size == n
         assert (t >= 0).all() and (t <= days * 86400).all()
+
+
+class TestArrivalProperties:
+    """Property tests over random profiles and seeds (ISSUE satellite)."""
+
+    @given(
+        n=st.integers(2, 300),
+        days=st.integers(1, 4),
+        seed=st.integers(0, 50),
+        hot_hours=st.lists(
+            st.integers(0, 23), min_size=1, max_size=24, unique=True
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cyclic_exactly_n_monotone_random_profiles(
+        self, n, days, seed, hot_hours
+    ):
+        """cyclic_arrivals returns exactly n sorted times for *any*
+        nonnegative profile with mass, at any seed."""
+        day = np.zeros(24)
+        day[hot_hours] = 1.0 + np.arange(len(hot_hours))
+        profile = np.tile(day, days)  # one entry per horizon hour
+        t = cyclic_arrivals(n, days, np.random.default_rng(seed), profile=profile)
+        assert t.size == n
+        assert (np.diff(t) >= 0).all()
+        assert (t >= 0).all() and (t <= days * 86400).all()
+
+    @given(n=st.integers(1, 200), seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_strictly_increasing_any_seed(self, n, seed):
+        t = poisson_arrivals(n, 0.01, np.random.default_rng(seed))
+        assert t.size == n
+        assert (np.diff(t) > 0).all()
+        assert (t > 0).all()
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_backend_independent(self, seed):
+        """The arrival stream never depends on the execution backend."""
+        import os
+
+        import repro.util.backend as backend_mod
+
+        saved = os.environ.get(backend_mod.BACKEND_ENV_VAR)
+        draws = {}
+        try:
+            for backend in ("reference", "fast"):
+                os.environ[backend_mod.BACKEND_ENV_VAR] = backend
+                draws[backend] = poisson_arrivals(
+                    50, 0.008, np.random.default_rng(seed)
+                )
+        finally:
+            if saved is None:
+                os.environ.pop(backend_mod.BACKEND_ENV_VAR, None)
+            else:
+                os.environ[backend_mod.BACKEND_ENV_VAR] = saved
+        np.testing.assert_array_equal(draws["reference"], draws["fast"])
